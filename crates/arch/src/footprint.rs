@@ -1,0 +1,124 @@
+use inca_workloads::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// The Table IV memory-footprint model (inference **and** training).
+///
+/// Decomposition (§V-B5):
+///
+/// * **Baseline (WS)** — RRAM must hold the weights, the transposed weights
+///   (a second full copy, Limitation 2), and the errors/activations:
+///   `RRAM = 2·W + A`. Buffers stage the activations: `buffers = A`.
+/// * **INCA (IS)** — RRAM holds only the activations (errors overwrite
+///   them in place during backprop): `RRAM = A`. Buffers hold the weights
+///   (transposed reads come from the same buffer with a different access
+///   order): `buffers = W`.
+///
+/// `W` = total parameters, `A` = the sum of per-layer *input* activations,
+/// both at the configured precision.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FootprintModel {
+    /// Data precision in bits (8 in the paper).
+    pub data_bits: u32,
+}
+
+/// Table IV row for one model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FootprintReport {
+    /// Weights in MiB at the configured precision.
+    pub weights_mib: f64,
+    /// Activation inputs in MiB.
+    pub activations_mib: f64,
+    /// Baseline RRAM requirement (2·W + A).
+    pub baseline_rram_mib: f64,
+    /// Baseline buffer requirement (A).
+    pub baseline_buffers_mib: f64,
+    /// INCA RRAM requirement (A).
+    pub inca_rram_mib: f64,
+    /// INCA buffer requirement (W).
+    pub inca_buffers_mib: f64,
+}
+
+impl FootprintModel {
+    /// The paper's 8-bit configuration.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { data_bits: 8 }
+    }
+
+    /// Evaluates the footprint for one model.
+    #[must_use]
+    pub fn evaluate(&self, spec: &ModelSpec) -> FootprintReport {
+        let bytes_per_elem = f64::from(self.data_bits) / 8.0;
+        const MIB: f64 = (1u64 << 20) as f64;
+        let weights_mib = spec.param_count() as f64 * bytes_per_elem / MIB;
+        let activations_mib = spec.activation_input_elems() as f64 * bytes_per_elem / MIB;
+        FootprintReport {
+            weights_mib,
+            activations_mib,
+            baseline_rram_mib: 2.0 * weights_mib + activations_mib,
+            baseline_buffers_mib: activations_mib,
+            inca_rram_mib: activations_mib,
+            inca_buffers_mib: weights_mib,
+        }
+    }
+}
+
+impl Default for FootprintModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_workloads::Model;
+
+    fn close(a: f64, b: f64, rel: f64) -> bool {
+        (a - b).abs() / b < rel
+    }
+
+    #[test]
+    fn table_iv_vgg16() {
+        let r = FootprintModel::paper_default().evaluate(&Model::Vgg16.spec());
+        assert!(close(r.baseline_rram_mib, 272.57, 0.01), "{:?}", r);
+        assert!(close(r.baseline_buffers_mib, 8.69, 0.01));
+        assert!(close(r.inca_rram_mib, 8.69, 0.01));
+        assert!(close(r.inca_buffers_mib, 131.94, 0.01));
+    }
+
+    #[test]
+    fn table_iv_all_models() {
+        let cases = [
+            (Model::Vgg16, 272.57, 8.69),
+            (Model::Vgg19, 283.94, 9.94),
+            (Model::ResNet18, 24.36, 2.08),
+            (Model::ResNet50, 58.79, 10.15),
+            (Model::MobileNetV2, 13.05, 6.45),
+            (Model::MnasNet, 13.57, 5.29),
+        ];
+        let m = FootprintModel::paper_default();
+        for (model, base_rram, base_buf) in cases {
+            let r = m.evaluate(&model.spec());
+            assert!(close(r.baseline_rram_mib, base_rram, 0.08), "{model} RRAM {}", r.baseline_rram_mib);
+            assert!(close(r.baseline_buffers_mib, base_buf, 0.10), "{model} buffers {}", r.baseline_buffers_mib);
+        }
+    }
+
+    #[test]
+    fn inca_needs_far_less_rram() {
+        let m = FootprintModel::paper_default();
+        for model in Model::paper_suite() {
+            let r = m.evaluate(&model.spec());
+            assert!(r.inca_rram_mib < r.baseline_rram_mib, "{model}");
+        }
+    }
+
+    #[test]
+    fn precision_scales_linearly() {
+        let spec = Model::ResNet18.spec();
+        let r8 = FootprintModel { data_bits: 8 }.evaluate(&spec);
+        let r16 = FootprintModel { data_bits: 16 }.evaluate(&spec);
+        assert!((r16.weights_mib - 2.0 * r8.weights_mib).abs() < 1e-9);
+    }
+}

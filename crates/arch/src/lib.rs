@@ -1,0 +1,36 @@
+//! Architecture hierarchy, mapping engines, and area/footprint models for
+//! INCA and the weight-stationary baseline.
+//!
+//! * [`ArchConfig`] — the Table II configuration of either accelerator
+//!   (subarray geometry, macro/tile organization, ADC/buffer specs),
+//! * [`mapping`] — the two dataflow mapping engines:
+//!   [`mapping::WsMapping`] (ISAAC-style unrolled weights) and
+//!   [`mapping::IsMapping`] (INCA's partitioned input feature maps), each
+//!   reporting per-layer array allocation and utilization (Fig 16),
+//! * [`AreaModel`] — the Table V area breakdown,
+//! * [`FootprintModel`] — the Table IV RRAM/buffer memory footprint.
+//!
+//! # Examples
+//!
+//! ```
+//! use inca_arch::{ArchConfig, FootprintModel};
+//! use inca_workloads::Model;
+//!
+//! let spec = Model::Vgg16.spec();
+//! let fp = FootprintModel::paper_default().evaluate(&spec);
+//! // Table IV: baseline RRAM = 2·weights + activations = 272.57 MiB.
+//! assert!((fp.baseline_rram_mib - 272.57).abs() < 1.0);
+//! assert_eq!(ArchConfig::inca_paper().subarray, 16);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod area;
+mod config;
+mod footprint;
+pub mod mapping;
+
+pub use area::{AreaBreakdown, AreaModel};
+pub use config::{ArchConfig, Dataflow};
+pub use footprint::{FootprintModel, FootprintReport};

@@ -1,0 +1,95 @@
+//! Dataflow mapping engines.
+//!
+//! [`WsMapping`] places unrolled weights on 2D crossbars (the GEMM-based
+//! convolution of the ISAAC-style baseline); [`IsMapping`] partitions input
+//! feature maps across INCA's 3D stacks (direct convolution, §IV-C). Both
+//! report per-layer array allocation and utilization — the raw material of
+//! Fig 16 and the array-energy terms of the simulator.
+
+mod is_map;
+mod ws_map;
+
+pub use is_map::{direct_input_elems, unrolled_input_elems, IsMapping};
+pub use ws_map::WsMapping;
+
+use serde::{Deserialize, Serialize};
+
+/// The mapping of one weighted layer onto PIM arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerMapping {
+    /// Subarray units (2D crossbars or 3D stacks) allocated.
+    pub units: u64,
+    /// Cells actually holding data.
+    pub cells_used: u64,
+    /// Cells allocated (units × cells-per-unit).
+    pub cells_allocated: u64,
+}
+
+impl LayerMapping {
+    /// Utilization: used / allocated cells.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.cells_allocated == 0 {
+            0.0
+        } else {
+            self.cells_used as f64 / self.cells_allocated as f64
+        }
+    }
+}
+
+/// Aggregate mapping statistics over a whole network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MappingSummary {
+    /// Total units allocated across all weighted layers.
+    pub total_units: u64,
+    /// Total cells used.
+    pub cells_used: u64,
+    /// Total cells allocated.
+    pub cells_allocated: u64,
+}
+
+impl MappingSummary {
+    /// Builds a summary from per-layer mappings.
+    #[must_use]
+    pub fn from_layers<'a>(layers: impl IntoIterator<Item = &'a LayerMapping>) -> Self {
+        let mut s = Self { total_units: 0, cells_used: 0, cells_allocated: 0 };
+        for l in layers {
+            s.total_units += l.units;
+            s.cells_used += l.cells_used;
+            s.cells_allocated += l.cells_allocated;
+        }
+        s
+    }
+
+    /// Network-level utilization (cell-weighted mean).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.cells_allocated == 0 {
+            0.0
+        } else {
+            self.cells_used as f64 / self.cells_allocated as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_math() {
+        let m = LayerMapping { units: 2, cells_used: 100, cells_allocated: 400 };
+        assert!((m.utilization() - 0.25).abs() < 1e-12);
+        let empty = LayerMapping { units: 0, cells_used: 0, cells_allocated: 0 };
+        assert_eq!(empty.utilization(), 0.0);
+    }
+
+    #[test]
+    fn summary_accumulates() {
+        let a = LayerMapping { units: 1, cells_used: 10, cells_allocated: 20 };
+        let b = LayerMapping { units: 3, cells_used: 30, cells_allocated: 60 };
+        let s = MappingSummary::from_layers([&a, &b]);
+        assert_eq!(s.total_units, 4);
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+    }
+}

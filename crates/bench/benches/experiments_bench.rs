@@ -1,0 +1,52 @@
+//! Criterion benches: one per analytic table/figure of the paper, timing
+//! the full regeneration of the artifact. The two ML experiments (Tables I
+//! and VI) are represented by a single reduced training step so the bench
+//! suite stays tractable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inca_core::{AccuracyConfig, Experiment, ExperimentOpts};
+use inca_nn::{layers, Loss, Network, SyntheticDataset, TrainConfig, Trainer};
+use std::hint::black_box;
+
+fn analytic_experiments(c: &mut Criterion) {
+    let opts = ExperimentOpts { quick: true };
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    for e in Experiment::all() {
+        // Tables I and VI train networks — benched separately below.
+        if matches!(e, Experiment::Table1 | Experiment::Table6) {
+            continue;
+        }
+        group.bench_function(e.id(), |b| b.iter(|| black_box(e.run(&opts))));
+    }
+    group.finish();
+}
+
+fn ml_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments-ml");
+    group.sample_size(10);
+
+    // A single miniature training run standing in for Table I / Table VI.
+    group.bench_function("table6_step", |b| {
+        let dataset = SyntheticDataset::generate(64, 8, 4, 3);
+        b.iter(|| {
+            let mut net = Network::new();
+            net.push(layers::Conv2d::new(1, 4, 3, 1, 1, 0));
+            net.push(layers::Relu::new());
+            net.push(layers::MaxPool2d::new(2, 2));
+            net.push(layers::Flatten::new());
+            net.push(layers::Linear::new(4 * 4 * 4, 4, 1));
+            let mut trainer = Trainer::new(TrainConfig { epochs: 1, lr: 0.05, batch_size: 16, ..TrainConfig::default() });
+            black_box(trainer.fit(&mut net, &dataset, Loss::CrossEntropy))
+        });
+    });
+
+    group.bench_function("table1_quant_eval", |b| {
+        let cfg = AccuracyConfig { samples: 64, side: 8, classes: 4, epochs: 1, lr: 0.05, seed: 3 };
+        b.iter(|| black_box(inca_core::quantization_accuracy(&cfg, 8, 8)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, analytic_experiments, ml_experiments);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Command-line experiment harness: regenerates every table and figure of
+//! the paper. See `inca_bench::usage` for the artifact list.
+
+use inca_bench::{run_ids, usage};
+use inca_core::ExperimentOpts;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = true;
+    let mut json_path: Option<String> = None;
+    let mut ids: Vec<&str> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => quick = false,
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(p.clone()),
+                None => {
+                    eprintln!("--json requires a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "-h" | "--help" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            id => ids.push(id),
+        }
+    }
+    if ids.is_empty() {
+        print!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+
+    let opts = ExperimentOpts { quick };
+    let results = match run_ids(ids.iter().copied(), &opts) {
+        Ok(r) => r,
+        Err(bad) => {
+            eprintln!("unknown experiment id: {bad}\n");
+            print!("{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for r in &results {
+        println!("=== {} — {}", r.id, r.title);
+        println!("{}", r.text);
+    }
+
+    if let Some(path) = json_path {
+        let payload: Vec<_> = results.iter().map(|r| serde_json::json!(r)).collect();
+        match serde_json::to_string_pretty(&payload) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(&path, s) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            Err(e) => {
+                eprintln!("serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,78 @@
+//! Experiment harness and benchmarks reproducing every table and figure of
+//! the INCA paper.
+//!
+//! The `experiments` binary regenerates each artifact:
+//!
+//! ```text
+//! cargo run -p inca-bench --bin experiments -- all        # every artifact (quick ML settings)
+//! cargo run -p inca-bench --bin experiments -- fig11 fig14
+//! cargo run -p inca-bench --bin experiments -- --full table6
+//! cargo run -p inca-bench --bin experiments -- --json out.json all
+//! ```
+//!
+//! The Criterion benches (`cargo bench -p inca-bench`) time the analytic
+//! experiments and the core simulation kernels.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use inca_core::{Experiment, ExperimentOpts, ExperimentResult};
+
+/// Runs a list of experiment ids (or all of them for `"all"`), returning
+/// the results in order.
+///
+/// # Errors
+///
+/// Returns the offending id when it is unknown.
+pub fn run_ids<'a>(ids: impl IntoIterator<Item = &'a str>, opts: &ExperimentOpts) -> Result<Vec<ExperimentResult>, String> {
+    let mut out = Vec::new();
+    for id in ids {
+        if id == "all" {
+            for e in Experiment::all() {
+                out.push(e.run(opts));
+            }
+        } else {
+            let e = Experiment::from_id(id).ok_or_else(|| id.to_string())?;
+            out.push(e.run(opts));
+        }
+    }
+    Ok(out)
+}
+
+/// The usage string of the experiments binary.
+#[must_use]
+pub fn usage() -> String {
+    let mut s = String::from(
+        "usage: experiments [--full] [--json PATH] <id>... | all\n\navailable experiments:\n",
+    );
+    for e in Experiment::all() {
+        s.push_str(&format!("  {:<22} {}\n", e.id(), e.title()));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_single_id() {
+        let r = run_ids(["table5"], &ExperimentOpts { quick: true }).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, "table5");
+    }
+
+    #[test]
+    fn unknown_id_is_reported() {
+        let err = run_ids(["fig99"], &ExperimentOpts { quick: true }).unwrap_err();
+        assert_eq!(err, "fig99");
+    }
+
+    #[test]
+    fn usage_lists_everything() {
+        let u = usage();
+        for e in Experiment::all() {
+            assert!(u.contains(e.id()), "{} missing from usage", e.id());
+        }
+    }
+}

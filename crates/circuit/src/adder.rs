@@ -1,0 +1,197 @@
+use serde::{Deserialize, Serialize};
+
+/// A binary adder tree reducing `fan_in` partial sums.
+///
+/// INCA's intra-layer mapping "naturally forms an adder tree to accumulate
+/// the result from different input channels" (§IV-C) and to gather halo
+/// partial sums; the baseline uses adders to merge column outputs across
+/// bit-slices.
+///
+/// # Examples
+///
+/// ```
+/// use inca_circuit::AdderTree;
+///
+/// let tree = AdderTree::new(64, 16);
+/// assert_eq!(tree.depth(), 6);
+/// assert_eq!(tree.adder_count(), 63);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AdderTree {
+    fan_in: u32,
+    operand_bits: u32,
+}
+
+impl AdderTree {
+    /// Energy of one `b`-bit addition, joules (22 nm ripple-carry estimate:
+    /// ~3 fJ per bit).
+    const ENERGY_PER_BIT_J: f64 = 3e-15;
+    /// Delay of one adder stage, seconds.
+    const STAGE_DELAY_S: f64 = 0.2e-9;
+
+    /// Creates a tree reducing `fan_in` operands of `operand_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in` is zero.
+    #[must_use]
+    pub fn new(fan_in: u32, operand_bits: u32) -> Self {
+        assert!(fan_in > 0, "fan-in must be positive");
+        Self { fan_in, operand_bits }
+    }
+
+    /// Number of operands reduced.
+    #[must_use]
+    pub fn fan_in(&self) -> u32 {
+        self.fan_in
+    }
+
+    /// Tree depth: `ceil(log2(fan_in))`.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        if self.fan_in <= 1 {
+            0
+        } else {
+            32 - (self.fan_in - 1).leading_zeros()
+        }
+    }
+
+    /// Total two-input adders in the tree: `fan_in - 1`.
+    #[must_use]
+    pub fn adder_count(&self) -> u32 {
+        self.fan_in - 1
+    }
+
+    /// Energy of one full reduction, joules. Operand width grows by one bit
+    /// per level; we charge the root width for every adder (conservative).
+    #[must_use]
+    pub fn reduce_energy_j(&self) -> f64 {
+        let root_bits = self.operand_bits + self.depth();
+        f64::from(self.adder_count()) * f64::from(root_bits) * Self::ENERGY_PER_BIT_J
+    }
+
+    /// Latency of one full reduction, seconds.
+    #[must_use]
+    pub fn reduce_latency_s(&self) -> f64 {
+        f64::from(self.depth()) * Self::STAGE_DELAY_S
+    }
+}
+
+/// A shift-and-accumulate unit recombining bit-serial partial results.
+///
+/// INCA "adopts the bit-serial design … the weight is fed into each array
+/// bit-by-bit, while the output is accumulated through a shift-accumulator"
+/// (§IV-C). One shift-add is charged per weight bit per output.
+///
+/// # Examples
+///
+/// ```
+/// use inca_circuit::ShiftAccumulator;
+///
+/// let sa = ShiftAccumulator::new(8, 16);
+/// let out = sa.combine(&[1, 0, 1, 1, 0, 0, 0, 0]); // LSB-first bit planes
+/// assert_eq!(out, 0b1101);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ShiftAccumulator {
+    input_bits: u32,
+    accumulator_bits: u32,
+}
+
+impl ShiftAccumulator {
+    /// Energy per shift-add, joules.
+    const ENERGY_PER_OP_J: f64 = 50e-15;
+    /// Latency per shift-add, seconds.
+    const OP_LATENCY_S: f64 = 0.3e-9;
+
+    /// Creates a shift-accumulator for `input_bits` serial bits into an
+    /// `accumulator_bits`-wide register.
+    #[must_use]
+    pub fn new(input_bits: u32, accumulator_bits: u32) -> Self {
+        Self { input_bits, accumulator_bits }
+    }
+
+    /// Number of serial input bits per combine.
+    #[must_use]
+    pub fn input_bits(&self) -> u32 {
+        self.input_bits
+    }
+
+    /// Functionally recombines LSB-first bit-plane partial sums:
+    /// `Σ plane[i] << i`.
+    #[must_use]
+    pub fn combine(&self, planes_lsb_first: &[i64]) -> i64 {
+        planes_lsb_first.iter().enumerate().map(|(i, &p)| p << i).sum()
+    }
+
+    /// Energy of one full recombination (one shift-add per bit), joules.
+    #[must_use]
+    pub fn combine_energy_j(&self) -> f64 {
+        f64::from(self.input_bits) * Self::ENERGY_PER_OP_J
+    }
+
+    /// Latency of one full recombination, seconds.
+    #[must_use]
+    pub fn combine_latency_s(&self) -> f64 {
+        f64::from(self.input_bits) * Self::OP_LATENCY_S
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_of_common_fanins() {
+        assert_eq!(AdderTree::new(1, 8).depth(), 0);
+        assert_eq!(AdderTree::new(2, 8).depth(), 1);
+        assert_eq!(AdderTree::new(3, 8).depth(), 2);
+        assert_eq!(AdderTree::new(64, 8).depth(), 6);
+        assert_eq!(AdderTree::new(65, 8).depth(), 7);
+    }
+
+    #[test]
+    fn adder_count_is_fanin_minus_one() {
+        for n in 1..200 {
+            assert_eq!(AdderTree::new(n, 8).adder_count(), n - 1);
+        }
+    }
+
+    #[test]
+    fn energy_grows_with_fanin_and_width() {
+        let small = AdderTree::new(8, 8).reduce_energy_j();
+        let wide = AdderTree::new(8, 16).reduce_energy_j();
+        let deep = AdderTree::new(64, 8).reduce_energy_j();
+        assert!(wide > small);
+        assert!(deep > small);
+    }
+
+    #[test]
+    fn single_operand_is_free() {
+        let t = AdderTree::new(1, 8);
+        assert_eq!(t.reduce_energy_j(), 0.0);
+        assert_eq!(t.reduce_latency_s(), 0.0);
+    }
+
+    #[test]
+    fn shift_accumulate_recombines_bit_planes() {
+        let sa = ShiftAccumulator::new(4, 16);
+        // value 13 = 0b1101 split into LSB-first planes
+        assert_eq!(sa.combine(&[1, 0, 1, 1]), 13);
+        // partial sums > 1 also work (column accumulations)
+        assert_eq!(sa.combine(&[3, 2]), 3 + (2 << 1));
+    }
+
+    #[test]
+    fn shift_accumulate_energy_linear_in_bits() {
+        let a = ShiftAccumulator::new(4, 16).combine_energy_j();
+        let b = ShiftAccumulator::new(8, 16).combine_energy_j();
+        assert!((b - 2.0 * a).abs() < 1e-20);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_fanin_panics() {
+        let _ = AdderTree::new(0, 8);
+    }
+}

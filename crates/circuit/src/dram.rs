@@ -1,0 +1,224 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{CircuitError, Result};
+
+/// An HBM2 DRAM channel model.
+///
+/// Two paper-published behaviours are reproduced:
+///
+/// 1. **Access energy** — 32 pJ per 8-bit access (§V-A, adopted from
+///    NeuroSim+), i.e. 4 pJ/bit.
+/// 2. **The Fig 1b latency knee** — effective latency is flat up to ~80 % of
+///    the maximum sustained bandwidth, then "increases exponentially in the
+///    region beyond 80 %" (citing Li/Reddy/Jacob and Srinivasan). We model
+///
+///    ```text
+///    latency(u) = L0                       for u ≤ knee
+///    latency(u) = L0 · exp(k · (u - knee))  for u > knee
+///    ```
+///
+///    with `u` the fraction of sustained bandwidth, `knee = 0.8`, and `k`
+///    chosen so latency grows ~50× as `u → 1` (the qualitative blow-up of
+///    the figure).
+///
+/// # Examples
+///
+/// ```
+/// use inca_circuit::DramModel;
+///
+/// let dram = DramModel::hbm2_8gb();
+/// // Below the knee, latency is flat:
+/// assert_eq!(dram.latency_at_utilization(0.2), dram.latency_at_utilization(0.7));
+/// // Beyond it, latency explodes:
+/// assert!(dram.latency_at_utilization(0.99) > 10.0 * dram.latency_at_utilization(0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramModel {
+    capacity_bytes: u64,
+    /// Maximum sustained bandwidth, bytes/s.
+    sustained_bw: f64,
+    /// Idle (unloaded) access latency, seconds.
+    idle_latency_s: f64,
+    /// Energy per bit, joules.
+    energy_per_bit_j: f64,
+    /// Utilization knee where queueing delay takes off.
+    knee: f64,
+    /// Exponential growth coefficient past the knee.
+    blowup_k: f64,
+}
+
+/// Statistics of a modelled DRAM transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DramTransferStats {
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Total latency in seconds (bandwidth-limited streaming + access).
+    pub latency_s: f64,
+    /// Bytes moved.
+    pub bytes: u64,
+}
+
+impl DramModel {
+    /// The paper's 8 GB HBM2 part (Table II). Sustained bandwidth is set to
+    /// 256 GB/s per stack (HBM2 spec) and idle latency to 100 ns.
+    #[must_use]
+    pub fn hbm2_8gb() -> Self {
+        Self {
+            capacity_bytes: 8 * 1024 * 1024 * 1024,
+            sustained_bw: 256e9,
+            idle_latency_s: 100e-9,
+            energy_per_bit_j: 4e-12, // 32 pJ / 8 bits
+            knee: 0.8,
+            blowup_k: 20.0,
+        }
+    }
+
+    /// Creates a DRAM model with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParams`] for non-positive bandwidth,
+    /// latency or energy, or a knee outside `(0, 1)`.
+    pub fn new(
+        capacity_bytes: u64,
+        sustained_bw: f64,
+        idle_latency_s: f64,
+        energy_per_bit_j: f64,
+        knee: f64,
+    ) -> Result<Self> {
+        if sustained_bw <= 0.0 || idle_latency_s <= 0.0 || energy_per_bit_j <= 0.0 {
+            return Err(CircuitError::InvalidParams(
+                "bandwidth, latency and energy must be positive".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&knee) || knee == 0.0 {
+            return Err(CircuitError::InvalidParams("knee must lie in (0, 1)".into()));
+        }
+        Ok(Self { capacity_bytes, sustained_bw, idle_latency_s, energy_per_bit_j, knee, blowup_k: 20.0 })
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Maximum sustained bandwidth in bytes/s.
+    #[must_use]
+    pub fn sustained_bandwidth(&self) -> f64 {
+        self.sustained_bw
+    }
+
+    /// Energy to move `bytes`, in joules (32 pJ per byte at the paper's
+    /// 8-bit granularity).
+    #[must_use]
+    pub fn access_energy_j(&self, bytes: u64) -> f64 {
+        bytes as f64 * 8.0 * self.energy_per_bit_j
+    }
+
+    /// Effective per-access latency at bandwidth utilization `u ∈ [0, 1]` —
+    /// the Fig 1b curve.
+    #[must_use]
+    pub fn latency_at_utilization(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        if u <= self.knee {
+            self.idle_latency_s
+        } else {
+            self.idle_latency_s * (self.blowup_k * (u - self.knee)).exp()
+        }
+    }
+
+    /// Models a transfer of `bytes` while the channel runs at background
+    /// utilization `u`.
+    #[must_use]
+    pub fn transfer(&self, bytes: u64, u: f64) -> DramTransferStats {
+        let streaming = bytes as f64 / self.sustained_bw;
+        DramTransferStats {
+            energy_j: self.access_energy_j(bytes),
+            latency_s: self.latency_at_utilization(u) + streaming,
+            bytes,
+        }
+    }
+
+    /// Samples the Fig 1b curve: `(utilization, latency_ns)` pairs over
+    /// `points` evenly spaced utilizations in `[0, 1]`.
+    #[must_use]
+    pub fn latency_curve(&self, points: usize) -> Vec<(f64, f64)> {
+        (0..points)
+            .map(|i| {
+                let u = if points <= 1 { 0.0 } else { i as f64 / (points - 1) as f64 };
+                (u, self.latency_at_utilization(u) * 1e9)
+            })
+            .collect()
+    }
+}
+
+impl Default for DramModel {
+    fn default() -> Self {
+        Self::hbm2_8gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_32pj_per_byte() {
+        let d = DramModel::hbm2_8gb();
+        assert!((d.access_energy_j(1) - 32e-12).abs() < 1e-18);
+        assert!((d.access_energy_j(1000) - 32e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn latency_flat_below_knee() {
+        let d = DramModel::hbm2_8gb();
+        for u in [0.0, 0.3, 0.5, 0.8] {
+            assert_eq!(d.latency_at_utilization(u), 100e-9, "u={u}");
+        }
+    }
+
+    #[test]
+    fn latency_explodes_beyond_knee() {
+        let d = DramModel::hbm2_8gb();
+        let l80 = d.latency_at_utilization(0.8);
+        let l90 = d.latency_at_utilization(0.9);
+        let l100 = d.latency_at_utilization(1.0);
+        assert!(l90 > 2.0 * l80);
+        assert!(l100 > 10.0 * l80);
+        assert!(l100 > l90);
+    }
+
+    #[test]
+    fn latency_curve_is_monotone_nondecreasing() {
+        let d = DramModel::hbm2_8gb();
+        let curve = d.latency_curve(101);
+        assert_eq!(curve.len(), 101);
+        for pair in curve.windows(2) {
+            assert!(pair[1].1 >= pair[0].1);
+        }
+    }
+
+    #[test]
+    fn transfer_includes_streaming_time() {
+        let d = DramModel::hbm2_8gb();
+        let small = d.transfer(64, 0.1);
+        let big = d.transfer(64 * 1024 * 1024, 0.1);
+        assert!(big.latency_s > small.latency_s);
+        assert_eq!(big.bytes, 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn utilization_clamped() {
+        let d = DramModel::hbm2_8gb();
+        assert_eq!(d.latency_at_utilization(-0.5), d.latency_at_utilization(0.0));
+        assert_eq!(d.latency_at_utilization(1.5), d.latency_at_utilization(1.0));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(DramModel::new(1, 0.0, 1e-9, 1e-12, 0.8).is_err());
+        assert!(DramModel::new(1, 1e9, 1e-9, 1e-12, 1.2).is_err());
+        assert!(DramModel::new(1, 1e9, 1e-9, 1e-12, 0.8).is_ok());
+    }
+}

@@ -1,0 +1,147 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{CircuitError, Result};
+
+/// Technology-node scaling rules.
+///
+/// The paper lays out the 2T1R cell in TSMC 65 nm, then scales the circuit
+/// results "according to the rules of scaling to match the technology node
+/// selected in the accelerator simulation" (§V-A) — 22 nm with a linear
+/// scale factor of 0.34 (Table II).
+///
+/// Classic (Dennard-flavoured) rules with linear factor `s < 1`:
+///
+/// * area scales with `s²`,
+/// * delay scales with `s`,
+/// * dynamic energy scales with `s³` (capacitance × V² at constant field).
+///
+/// # Examples
+///
+/// ```
+/// use inca_circuit::TechScaling;
+///
+/// let s = TechScaling::paper_default(); // 65 nm -> 22 nm, factor 0.34
+/// assert!((s.factor() - 0.34).abs() < 1e-12);
+/// assert!((s.scale_area(100.0) - 100.0 * 0.34 * 0.34).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechScaling {
+    from_nm: f64,
+    to_nm: f64,
+    factor: f64,
+}
+
+impl TechScaling {
+    /// The paper's 65 nm → 22 nm scaling with factor 0.34.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { from_nm: 65.0, to_nm: 22.0, factor: 0.34 }
+    }
+
+    /// Creates a scaling between two nodes with an explicit linear factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParams`] when nodes or factor are not
+    /// positive.
+    pub fn new(from_nm: f64, to_nm: f64, factor: f64) -> Result<Self> {
+        if from_nm <= 0.0 || to_nm <= 0.0 || factor <= 0.0 {
+            return Err(CircuitError::InvalidParams("nodes and factor must be positive".into()));
+        }
+        Ok(Self { from_nm, to_nm, factor })
+    }
+
+    /// Creates an ideal scaling where the factor equals the node ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParams`] when either node is not
+    /// positive.
+    pub fn ideal(from_nm: f64, to_nm: f64) -> Result<Self> {
+        Self::new(from_nm, to_nm, to_nm / from_nm)
+    }
+
+    /// Source node in nanometres.
+    #[must_use]
+    pub fn from_nm(&self) -> f64 {
+        self.from_nm
+    }
+
+    /// Target node in nanometres.
+    #[must_use]
+    pub fn to_nm(&self) -> f64 {
+        self.to_nm
+    }
+
+    /// The linear scale factor.
+    #[must_use]
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Scales an area (any squared-length unit).
+    #[must_use]
+    pub fn scale_area(&self, area: f64) -> f64 {
+        area * self.factor * self.factor
+    }
+
+    /// Scales a delay/latency.
+    #[must_use]
+    pub fn scale_delay(&self, delay: f64) -> f64 {
+        delay * self.factor
+    }
+
+    /// Scales a dynamic energy.
+    #[must_use]
+    pub fn scale_energy(&self, energy: f64) -> f64 {
+        energy * self.factor.powi(3)
+    }
+}
+
+impl Default for TechScaling {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_factor() {
+        let s = TechScaling::paper_default();
+        assert_eq!(s.from_nm(), 65.0);
+        assert_eq!(s.to_nm(), 22.0);
+        assert_eq!(s.factor(), 0.34);
+    }
+
+    #[test]
+    fn paper_factor_is_close_to_ideal_node_ratio() {
+        // 22/65 = 0.338… — the paper rounds to 0.34.
+        let ideal = TechScaling::ideal(65.0, 22.0).unwrap();
+        assert!((ideal.factor() - 0.3385).abs() < 1e-3);
+    }
+
+    #[test]
+    fn scaling_laws() {
+        let s = TechScaling::paper_default();
+        assert!((s.scale_area(1.0) - 0.1156).abs() < 1e-9);
+        assert!((s.scale_delay(1.0) - 0.34).abs() < 1e-12);
+        assert!((s.scale_energy(1.0) - 0.039304).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_cell_scaling_matches_paper() {
+        // 540 × 485 nm = 0.26 µm² at 65 nm → 0.030 µm² at 22 nm (§V-B6).
+        let s = TechScaling::paper_default();
+        let scaled = s.scale_area(0.540 * 0.485);
+        assert!((scaled - 0.030).abs() < 0.001, "got {scaled}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(TechScaling::new(0.0, 22.0, 0.34).is_err());
+        assert!(TechScaling::new(65.0, 22.0, 0.0).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Bus, CircuitError, Result};
+
+/// An on-chip SRAM buffer (the "buffers" of Fig 1a / Fig 6).
+///
+/// Both architectures use 64 KB buffers with a 256-bit port (Table II).
+/// Energy per 256-bit access is calibrated to NeuroSim-class 22 nm SRAM
+/// macros (~20 pJ per 256-bit read, writes ~10 % more expensive); these are
+/// the constants that make DRAM+buffer dominate WS energy in Fig 6.
+///
+/// # Examples
+///
+/// ```
+/// use inca_circuit::SramBuffer;
+///
+/// let buf = SramBuffer::paper_default();
+/// let e = buf.read_energy_j(64); // read 64 bytes = two 256-bit beats
+/// assert!(e > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SramBuffer {
+    capacity_bytes: usize,
+    port: Bus,
+    /// Energy of one full-width read beat, joules.
+    read_energy_per_beat_j: f64,
+    /// Energy of one full-width write beat, joules.
+    write_energy_per_beat_j: f64,
+    /// Access latency of one beat, seconds.
+    beat_latency_s: f64,
+    /// Leakage power, watts.
+    leakage_w: f64,
+}
+
+impl SramBuffer {
+    /// The paper's 64 KB / 256-bit buffer.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            capacity_bytes: 64 * 1024,
+            port: Bus::new(256),
+            read_energy_per_beat_j: 20e-12,
+            write_energy_per_beat_j: 22e-12,
+            beat_latency_s: 1e-9,
+            leakage_w: 5e-6,
+        }
+    }
+
+    /// Creates a buffer with explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidParams`] for a zero capacity or
+    /// non-positive energies/latency.
+    pub fn new(
+        capacity_bytes: usize,
+        port: Bus,
+        read_energy_per_beat_j: f64,
+        write_energy_per_beat_j: f64,
+        beat_latency_s: f64,
+    ) -> Result<Self> {
+        if capacity_bytes == 0 {
+            return Err(CircuitError::InvalidParams("buffer capacity must be positive".into()));
+        }
+        if read_energy_per_beat_j <= 0.0 || write_energy_per_beat_j <= 0.0 || beat_latency_s <= 0.0 {
+            return Err(CircuitError::InvalidParams("energies and latency must be positive".into()));
+        }
+        Ok(Self {
+            capacity_bytes,
+            port,
+            read_energy_per_beat_j,
+            write_energy_per_beat_j,
+            beat_latency_s,
+            leakage_w: 5e-6,
+        })
+    }
+
+    /// Buffer capacity in bytes.
+    #[must_use]
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
+    }
+
+    /// The access port.
+    #[must_use]
+    pub fn port(&self) -> Bus {
+        self.port
+    }
+
+    /// Number of port beats needed to move `bytes`.
+    #[must_use]
+    pub fn beats(&self, bytes: u64) -> u64 {
+        self.port.transfers_for_bits(bytes * 8)
+    }
+
+    /// Energy to read `bytes`, in joules.
+    #[must_use]
+    pub fn read_energy_j(&self, bytes: u64) -> f64 {
+        self.beats(bytes) as f64 * self.read_energy_per_beat_j
+    }
+
+    /// Energy to write `bytes`, in joules.
+    #[must_use]
+    pub fn write_energy_j(&self, bytes: u64) -> f64 {
+        self.beats(bytes) as f64 * self.write_energy_per_beat_j
+    }
+
+    /// Latency to stream `bytes` through the port, in seconds.
+    #[must_use]
+    pub fn access_latency_s(&self, bytes: u64) -> f64 {
+        self.beats(bytes) as f64 * self.beat_latency_s
+    }
+
+    /// Leakage energy over a window of `seconds`.
+    #[must_use]
+    pub fn leakage_energy_j(&self, seconds: f64) -> f64 {
+        self.leakage_w * seconds.max(0.0)
+    }
+
+    /// Checks that `bytes` fits in the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::CapacityExceeded`] when it does not.
+    pub fn check_fits(&self, bytes: usize) -> Result<()> {
+        if bytes > self.capacity_bytes {
+            return Err(CircuitError::CapacityExceeded { requested: bytes, capacity: self.capacity_bytes });
+        }
+        Ok(())
+    }
+}
+
+impl Default for SramBuffer {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_64kb_256bit() {
+        let b = SramBuffer::paper_default();
+        assert_eq!(b.capacity_bytes(), 65536);
+        assert_eq!(b.port().width_bits(), 256);
+    }
+
+    #[test]
+    fn beat_quantization() {
+        let b = SramBuffer::paper_default();
+        assert_eq!(b.beats(32), 1); // 256 bits exactly
+        assert_eq!(b.beats(33), 2);
+        assert_eq!(b.beats(0), 0);
+    }
+
+    #[test]
+    fn write_costs_more_than_read() {
+        let b = SramBuffer::paper_default();
+        assert!(b.write_energy_j(64) > b.read_energy_j(64));
+    }
+
+    #[test]
+    fn capacity_check() {
+        let b = SramBuffer::paper_default();
+        assert!(b.check_fits(65536).is_ok());
+        assert!(matches!(
+            b.check_fits(65537),
+            Err(CircuitError::CapacityExceeded { requested: 65537, capacity: 65536 })
+        ));
+    }
+
+    #[test]
+    fn invalid_construction_rejected() {
+        assert!(SramBuffer::new(0, Bus::new(256), 1e-12, 1e-12, 1e-9).is_err());
+        assert!(SramBuffer::new(1024, Bus::new(256), 0.0, 1e-12, 1e-9).is_err());
+    }
+
+    #[test]
+    fn leakage_scales_with_time_and_clamps_negative() {
+        let b = SramBuffer::paper_default();
+        assert_eq!(b.leakage_energy_j(-1.0), 0.0);
+        assert!((b.leakage_energy_j(2.0) - 2.0 * b.leakage_energy_j(1.0)).abs() < 1e-18);
+    }
+}

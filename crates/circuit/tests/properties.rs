@@ -1,0 +1,74 @@
+//! Property-based tests on circuit-model invariants.
+
+use inca_circuit::{AdcSpec, Bus, DramModel, SramBuffer, TechScaling};
+use proptest::prelude::*;
+
+proptest! {
+    /// Bus transfers are exact ceil division and monotone in payload.
+    #[test]
+    fn bus_transfers_ceil_and_monotone(width in 1u32..2048, elems in 0u64..100_000, bits in 1u32..64) {
+        let bus = Bus::new(width);
+        let t = bus.transfers(elems, bits);
+        let total_bits = elems * u64::from(bits);
+        prop_assert_eq!(t, total_bits.div_ceil(u64::from(width)));
+        prop_assert!(bus.transfers(elems + 1, bits) >= t);
+    }
+
+    /// A wider bus never needs more transfers.
+    #[test]
+    fn wider_bus_never_worse(elems in 1u64..10_000, bits in 1u32..32, w in 1u32..512) {
+        let narrow = Bus::new(w).transfers(elems, bits);
+        let wide = Bus::new(2 * w).transfers(elems, bits);
+        prop_assert!(wide <= narrow);
+    }
+
+    /// ADC energy grows strictly with precision; the 4-bit-vs-8-bit factor
+    /// is exactly 4 at any anchor.
+    #[test]
+    fn adc_energy_monotone(bits in 1u8..16) {
+        let lo = AdcSpec::new(bits).unwrap().energy_per_conversion_j();
+        let hi = AdcSpec::new(bits + 1).unwrap().energy_per_conversion_j();
+        prop_assert!(hi > lo);
+    }
+
+    /// DRAM latency is monotone nondecreasing in utilization and flat
+    /// below the knee.
+    #[test]
+    fn dram_latency_monotone(u1 in 0.0f64..=1.0, u2 in 0.0f64..=1.0) {
+        let d = DramModel::hbm2_8gb();
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(d.latency_at_utilization(lo) <= d.latency_at_utilization(hi) + 1e-18);
+        if hi <= 0.8 {
+            prop_assert_eq!(d.latency_at_utilization(lo), d.latency_at_utilization(hi));
+        }
+    }
+
+    /// DRAM energy is exactly linear in bytes.
+    #[test]
+    fn dram_energy_linear(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let d = DramModel::hbm2_8gb();
+        let sum = d.access_energy_j(a) + d.access_energy_j(b);
+        prop_assert!((d.access_energy_j(a + b) - sum).abs() < 1e-18 * (1.0 + sum));
+    }
+
+    /// Buffer read/write energies scale with beat count.
+    #[test]
+    fn buffer_energy_beat_quantized(bytes in 0u64..100_000) {
+        let buf = SramBuffer::paper_default();
+        let beats = buf.beats(bytes);
+        prop_assert!((buf.read_energy_j(bytes) - beats as f64 * buf.read_energy_j(32)).abs() < 1e-15);
+        prop_assert!(buf.write_energy_j(bytes) >= buf.read_energy_j(bytes));
+    }
+
+    /// Technology scaling laws are multiplicative and ordered:
+    /// energy shrinks faster than area, area faster than delay.
+    #[test]
+    fn scaling_law_ordering(factor in 0.05f64..0.95) {
+        let s = TechScaling::new(65.0, 22.0, factor).unwrap();
+        prop_assert!(s.scale_energy(1.0) <= s.scale_area(1.0) + 1e-12);
+        prop_assert!(s.scale_area(1.0) <= s.scale_delay(1.0) + 1e-12);
+        // Composition: scaling a scaled area equals scaling by the square.
+        let twice = s.scale_area(s.scale_area(1.0));
+        prop_assert!((twice - factor.powi(4)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,143 @@
+use inca_nn::{layers, Loss, Network, NoiseInjection, QuantConfig, SyntheticDataset, TrainConfig, Trainer};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the accuracy experiments (Tables I and VI).
+///
+/// The paper fine-tuned a pretrained torchvision ResNet18 for 10 epochs on
+/// ImageNet-class data; this reproduction trains a compact CNN on a
+/// procedurally generated 10-class task (see DESIGN.md substitutions). The
+/// *relative* claims — weight noise collapses accuracy while activation
+/// noise barely moves it, and low weight bit-depth hurts more than low
+/// activation bit-depth — are properties of where the corruption enters
+/// backprop, not of the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyConfig {
+    /// Samples in the synthetic dataset.
+    pub samples: usize,
+    /// Image side length.
+    pub side: usize,
+    /// Number of classes.
+    pub classes: usize,
+    /// Training epochs (the paper used 10).
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl AccuracyConfig {
+    /// The full-fidelity configuration (≈ the paper's 10 epochs).
+    #[must_use]
+    pub fn paper_like() -> Self {
+        Self { samples: 600, side: 12, classes: 10, epochs: 10, lr: 0.08, seed: 11 }
+    }
+
+    /// A fast configuration for CI and quick runs.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { samples: 320, side: 12, classes: 10, epochs: 6, lr: 0.08, seed: 11 }
+    }
+
+    fn pooled_side(&self) -> usize {
+        self.side / 2
+    }
+
+    fn build_network(&self) -> Network {
+        let mut net = Network::new();
+        net.push(layers::Conv2d::new(1, 8, 3, 1, 1, self.seed));
+        net.push(layers::Relu::new());
+        net.push(layers::MaxPool2d::new(2, 2));
+        net.push(layers::Conv2d::new(8, 16, 3, 1, 1, self.seed + 1));
+        net.push(layers::Relu::new());
+        net.push(layers::Flatten::new());
+        net.push(layers::Linear::new(16 * self.pooled_side() * self.pooled_side(), self.classes, self.seed + 2));
+        net
+    }
+
+    fn train_with(&self, noise: NoiseInjection, quant: QuantConfig) -> f32 {
+        let dataset = SyntheticDataset::generate(self.samples, self.side, self.classes, self.seed);
+        let mut net = self.build_network();
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: self.epochs,
+            lr: self.lr,
+            batch_size: 16,
+            train_fraction: 0.8,
+            noise,
+            quant,
+            seed: self.seed,
+        });
+        trainer.fit(&mut net, &dataset, Loss::CrossEntropy).test_accuracy
+    }
+}
+
+impl Default for AccuracyConfig {
+    fn default() -> Self {
+        Self::paper_like()
+    }
+}
+
+/// One Table VI row: accuracy under a given noise strength applied to
+/// weights and (separately) to activations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseAccuracyRow {
+    /// Noise strength σ.
+    pub sigma: f64,
+    /// Test accuracy with noisy weights (the WS scenario), in percent.
+    pub weight_noise_acc: f32,
+    /// Test accuracy with noisy activations (the INCA scenario), percent.
+    pub activation_noise_acc: f32,
+}
+
+/// Runs one σ of the Table VI sweep.
+#[must_use]
+pub fn noise_accuracy_row(cfg: &AccuracyConfig, sigma: f64) -> NoiseAccuracyRow {
+    let wt = cfg.train_with(NoiseInjection::weights(sigma), QuantConfig::full_precision());
+    let act = cfg.train_with(NoiseInjection::activations(sigma), QuantConfig::full_precision());
+    NoiseAccuracyRow { sigma, weight_noise_acc: wt * 100.0, activation_noise_acc: act * 100.0 }
+}
+
+/// Runs one Table I cell: accuracy with the given weight/activation bit
+/// depths (as a drop relative to the 8-bit anchor, percentage points).
+#[must_use]
+pub fn quantization_accuracy(cfg: &AccuracyConfig, weight_bits: u8, activation_bits: u8) -> f32 {
+    let quant = QuantConfig {
+        weight_bits: Some(weight_bits),
+        activation_bits: Some(activation_bits),
+        weight_range: 1.0,
+        activation_range: 1.0,
+    };
+    cfg.train_with(NoiseInjection::none(), quant) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_quick_training_learns() {
+        let cfg = AccuracyConfig::quick();
+        let acc = cfg.train_with(NoiseInjection::none(), QuantConfig::full_precision());
+        assert!(acc > 0.5, "accuracy {acc}");
+    }
+
+    #[test]
+    fn table_vi_trend_at_high_sigma() {
+        let cfg = AccuracyConfig::quick();
+        let row = noise_accuracy_row(&cfg, 0.05);
+        assert!(
+            row.activation_noise_acc > row.weight_noise_acc + 10.0,
+            "act {} vs wt {}",
+            row.activation_noise_acc,
+            row.weight_noise_acc
+        );
+    }
+
+    #[test]
+    fn eight_bit_quantization_is_nearly_lossless() {
+        let cfg = AccuracyConfig::quick();
+        let full = cfg.train_with(NoiseInjection::none(), QuantConfig::full_precision()) * 100.0;
+        let q8 = quantization_accuracy(&cfg, 8, 8);
+        assert!((full - q8).abs() < 12.0, "full {full} vs 8-bit {q8}");
+    }
+}

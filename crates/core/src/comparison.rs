@@ -1,0 +1,131 @@
+use inca_sim::NetworkStats;
+use inca_workloads::Model;
+
+use crate::{Error, Result};
+
+/// Builder for an INCA-vs-baseline comparison run — the high-level face of
+/// the paper's Figs 11/14.
+///
+/// # Examples
+///
+/// ```
+/// use inca_core::Comparison;
+/// use inca_workloads::Model;
+///
+/// let report = Comparison::paper_default()
+///     .workload(Model::Vgg16)
+///     .run_training()?;
+/// // Training gains exceed inference gains (batch parallelism).
+/// let inference = Comparison::paper_default().workload(Model::Vgg16).run_inference()?;
+/// assert!(report.energy_improvement() > inference.energy_improvement());
+/// # Ok::<(), inca_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    inner: inca_sim::Comparison,
+    workload: Option<Model>,
+}
+
+impl Comparison {
+    /// The paper's Table II configurations on both sides.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { inner: inca_sim::Comparison::paper_default(), workload: None }
+    }
+
+    /// Selects the workload to compare.
+    #[must_use]
+    pub fn workload(mut self, model: Model) -> Self {
+        self.workload = Some(model);
+        self
+    }
+
+    /// Runs the inference comparison.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if no workload was selected.
+    pub fn run_inference(&self) -> Result<RunReport> {
+        let model = self.model()?;
+        let spec = model.spec();
+        let (inca, baseline, _, _) = self.inner.raw(&spec);
+        Ok(RunReport { model, inca, baseline })
+    }
+
+    /// Runs the training comparison.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if no workload was selected.
+    pub fn run_training(&self) -> Result<RunReport> {
+        let model = self.model()?;
+        let spec = model.spec();
+        let (_, _, inca, baseline) = self.inner.raw(&spec);
+        Ok(RunReport { model, inca, baseline })
+    }
+
+    /// The full ratio report (energy + speedup + GPU) for the selected
+    /// workload — everything Figs 11/14/15 plot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if no workload was selected.
+    pub fn run_all(&self) -> Result<inca_sim::ComparisonReport> {
+        Ok(self.inner.run(self.model()?))
+    }
+
+    fn model(&self) -> Result<Model> {
+        self.workload.ok_or_else(|| Error::Config("no workload selected; call .workload(Model::..)".into()))
+    }
+}
+
+/// The outcome of one comparison run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The compared workload.
+    pub model: Model,
+    /// INCA's simulation result.
+    pub inca: NetworkStats,
+    /// The baseline's simulation result.
+    pub baseline: NetworkStats,
+}
+
+impl RunReport {
+    /// Energy-efficiency improvement (baseline ÷ INCA; > 1 means INCA
+    /// wins) — the Fig 11 metric.
+    #[must_use]
+    pub fn energy_improvement(&self) -> f64 {
+        self.baseline.energy.total_j() / self.inca.energy.total_j()
+    }
+
+    /// Speedup (baseline ÷ INCA latency) — the Fig 14 metric.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.baseline.latency_s / self.inca.latency_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_workload_is_an_error() {
+        let err = Comparison::paper_default().run_inference().unwrap_err();
+        assert!(matches!(err, Error::Config(_)));
+    }
+
+    #[test]
+    fn inference_report_favors_inca() {
+        let r = Comparison::paper_default().workload(Model::ResNet18).run_inference().unwrap();
+        assert!(r.energy_improvement() > 1.0);
+        assert!(r.speedup() > 1.0);
+        assert_eq!(r.model, Model::ResNet18);
+    }
+
+    #[test]
+    fn run_all_includes_gpu() {
+        let r = Comparison::paper_default().workload(Model::MobileNetV2).run_all().unwrap();
+        assert!(r.gpu_energy_ratio > 1.0);
+    }
+}

@@ -1,0 +1,86 @@
+use std::fmt;
+
+/// Unified error type of the top-level API.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A device-model error.
+    Device(inca_device::DeviceError),
+    /// A circuit-model error.
+    Circuit(inca_circuit::CircuitError),
+    /// A crossbar-simulation error.
+    Xbar(inca_xbar::XbarError),
+    /// A neural-network framework error.
+    Nn(inca_nn::NnError),
+    /// A configuration problem detected at the API boundary.
+    Config(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Device(e) => write!(f, "device model: {e}"),
+            Error::Circuit(e) => write!(f, "circuit model: {e}"),
+            Error::Xbar(e) => write!(f, "crossbar simulation: {e}"),
+            Error::Nn(e) => write!(f, "network framework: {e}"),
+            Error::Config(msg) => write!(f, "configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Device(e) => Some(e),
+            Error::Circuit(e) => Some(e),
+            Error::Xbar(e) => Some(e),
+            Error::Nn(e) => Some(e),
+            Error::Config(_) => None,
+        }
+    }
+}
+
+impl From<inca_device::DeviceError> for Error {
+    fn from(e: inca_device::DeviceError) -> Self {
+        Error::Device(e)
+    }
+}
+
+impl From<inca_circuit::CircuitError> for Error {
+    fn from(e: inca_circuit::CircuitError) -> Self {
+        Error::Circuit(e)
+    }
+}
+
+impl From<inca_xbar::XbarError> for Error {
+    fn from(e: inca_xbar::XbarError) -> Self {
+        Error::Xbar(e)
+    }
+}
+
+impl From<inca_nn::NnError> for Error {
+    fn from(e: inca_nn::NnError) -> Self {
+        Error::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_source() {
+        use std::error::Error as _;
+        let e: Error = inca_xbar::XbarError::PlaneOutOfBounds { plane: 3, planes: 2 }.into();
+        assert!(e.to_string().contains("crossbar"));
+        assert!(e.source().is_some());
+        let c = Error::Config("bad".into());
+        assert!(c.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

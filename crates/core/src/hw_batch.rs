@@ -1,0 +1,256 @@
+//! Batch-parallel convolution on the 3D HRRAM stack — the architectural
+//! heart of INCA (§IV-B): one kernel broadcast on the shared pillars
+//! evaluates the same window on *every* plane, i.e. every batch sample,
+//! in a single read cycle.
+
+use inca_nn::Tensor;
+use inca_xbar::quant::slice_to_bit_planes;
+use inca_xbar::sliding::output_dims_padded;
+use inca_xbar::Stack3d;
+
+use crate::{Error, Result};
+
+/// Quantization width (Table II: 8-bit).
+const DATA_BITS: u8 = 8;
+
+/// A convolution layer executing a whole batch on 3D stacks.
+///
+/// Each (input-channel, activation-bit) pair owns one [`Stack3d`] whose
+/// planes hold the batch samples; forward passes broadcast each kernel
+/// bit-plane once per window and collect one partial sum per plane.
+///
+/// # Examples
+///
+/// ```
+/// use inca_core::HwBatchConv;
+/// use inca_nn::Tensor;
+///
+/// let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+/// w.data_mut()[4] = 1.0;
+/// let conv = HwBatchConv::from_float(&w, &[0.0], 1, 1)?;
+/// let x = Tensor::full(&[4, 1, 6, 6], 0.25); // batch of 4
+/// let y = conv.forward(&x)?;
+/// assert_eq!(y.shape(), &[4, 1, 6, 6]);
+/// # Ok::<(), inca_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HwBatchConv {
+    out_ch: usize,
+    in_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    w_pos: Vec<Vec<Vec<u32>>>,
+    w_neg: Vec<Vec<Vec<u32>>>,
+    w_scale: f32,
+    bias: Vec<f32>,
+}
+
+impl HwBatchConv {
+    /// Quantizes float weights (`[out, in, k, k]`) with the differential
+    /// encoding.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`crate::HwConv::from_float`].
+    pub fn from_float(weights: &Tensor, bias: &[f32], stride: usize, pad: usize) -> Result<Self> {
+        if weights.shape().len() != 4 {
+            return Err(Error::Config(format!("expected [out,in,k,k] weights, got {:?}", weights.shape())));
+        }
+        let [out_ch, in_ch, k, k2] = weights.dims4();
+        if k != k2 {
+            return Err(Error::Config("only square kernels supported".into()));
+        }
+        if bias.len() != out_ch {
+            return Err(Error::Config("bias length mismatch".into()));
+        }
+        let levels = f32::from((1u16 << DATA_BITS) - 1);
+        let w_max = weights.data().iter().fold(0.0f32, |m, &w| m.max(w.abs())).max(1e-12);
+        let w_scale = w_max / levels;
+        let mut w_pos = vec![vec![vec![0u32; k * k]; in_ch]; out_ch];
+        let mut w_neg = vec![vec![vec![0u32; k * k]; in_ch]; out_ch];
+        for o in 0..out_ch {
+            for c in 0..in_ch {
+                for i in 0..k * k {
+                    let q = (weights.at4(o, c, i / k, i % k) / w_scale).round() as i32;
+                    if q >= 0 {
+                        w_pos[o][c][i] = q as u32;
+                    } else {
+                        w_neg[o][c][i] = (-q) as u32;
+                    }
+                }
+            }
+        }
+        Ok(Self { out_ch, in_ch, k, stride, pad, w_pos, w_neg, w_scale, bias: bias.to_vec() })
+    }
+
+    /// Executes the layer on a `[B, C, H, W]` batch, returning
+    /// `[B, N, OH, OW]`. One read cycle per (window, output channel,
+    /// weight bit, activation bit) serves the entire batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] on channel mismatch and propagates
+    /// hardware-level errors.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let [b, c, h, w] = x.dims4();
+        if c != self.in_ch {
+            return Err(Error::Config(format!("expected {} channels, got {c}", self.in_ch)));
+        }
+        // Batch-shared activation quantization (the planes share one
+        // readout scale per stack).
+        let levels = f32::from((1u16 << DATA_BITS) - 1);
+        let x_min = x.data().iter().fold(0.0f32, |m, &v| m.min(v)).min(0.0);
+        let x_max = x.data().iter().fold(0.0f32, |m, &v| m.max(v)).max(x_min + 1e-9);
+        let x_scale = ((x_max - x_min) / levels).max(1e-12);
+        let zero_code = ((-x_min / x_scale).round() as u32).min(levels as u32);
+
+        // One stack per (channel, activation bit): padded H x W planes,
+        // one plane per batch sample.
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        let mut stacks: Vec<Vec<Stack3d>> = Vec::with_capacity(c);
+        for ci in 0..c {
+            let mut per_bit = Vec::with_capacity(usize::from(DATA_BITS));
+            // Gather per-sample padded codes once.
+            let mut codes_per_sample: Vec<Vec<u32>> = Vec::with_capacity(b);
+            for bi in 0..b {
+                let mut codes = vec![zero_code; ph * pw];
+                for y in 0..h {
+                    for xx in 0..w {
+                        let v = x.at4(bi, ci, y, xx);
+                        codes[(y + self.pad) * pw + xx + self.pad] =
+                            (((v - x_min) / x_scale).round() as u32).min(levels as u32);
+                    }
+                }
+                codes_per_sample.push(codes);
+            }
+            for bit in 0..usize::from(DATA_BITS) {
+                let mut stack = Stack3d::new(ph, pw, b);
+                for (bi, codes) in codes_per_sample.iter().enumerate() {
+                    let bits: Vec<u8> = codes.iter().map(|&v| ((v >> bit) & 1) as u8).collect();
+                    stack.write_plane(bi, &bits)?;
+                }
+                per_bit.push(stack);
+            }
+            stacks.push(per_bit);
+        }
+
+        // Offset correction per output channel.
+        let kernel_code_sum: Vec<i64> = (0..self.out_ch)
+            .map(|o| {
+                (0..c)
+                    .map(|ci| {
+                        let p: i64 = self.w_pos[o][ci].iter().map(|&v| i64::from(v)).sum();
+                        let n: i64 = self.w_neg[o][ci].iter().map(|&v| i64::from(v)).sum();
+                        p - n
+                    })
+                    .sum()
+            })
+            .collect();
+
+        let (oh, ow) = output_dims_padded(h, w, self.k, self.k, self.stride, self.pad);
+        let mut out = Tensor::zeros(&[b, self.out_ch, oh, ow]);
+        let mut acc = vec![0i64; b];
+        for o in 0..self.out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    acc.fill(0);
+                    let (ry, rx) = (oy * self.stride, ox * self.stride);
+                    for ci in 0..c {
+                        for (sign, kernel) in
+                            [(1i64, &self.w_pos[o][ci]), (-1i64, &self.w_neg[o][ci])]
+                        {
+                            let k_planes = slice_to_bit_planes(kernel, DATA_BITS);
+                            for (wb, wp) in k_planes.iter().enumerate() {
+                                for (xb, stack) in stacks[ci].iter().enumerate() {
+                                    // ONE broadcast read returns the whole
+                                    // batch's partial sums.
+                                    let sums = stack.direct_conv_window(ry, rx, self.k, self.k, wp)?;
+                                    for (bi, &s) in sums.iter().enumerate() {
+                                        acc[bi] += sign * (i64::from(s) << (wb + xb));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for (bi, &a) in acc.iter().enumerate() {
+                        *out.at4_mut(bi, o, oy, ox) = a as f32 * x_scale * self.w_scale
+                            + x_min * self.w_scale * kernel_code_sum[o] as f32
+                            + self.bias[o];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HwConv;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(shape: &[usize], seed: u64, lo: f32, hi: f32) -> Tensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Tensor::from_vec(
+            (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(lo..hi)).collect(),
+            shape,
+        )
+    }
+
+    #[test]
+    fn batch_matches_per_sample_execution() {
+        // The 3D batch path and the per-sample 2D path must agree exactly
+        // when fed the same quantization range.
+        let w = random_tensor(&[2, 2, 3, 3], 51, -0.5, 0.5);
+        let bias = [0.1f32, -0.05];
+        let x = random_tensor(&[3, 2, 7, 7], 52, 0.0, 1.0);
+        let batch_conv = HwBatchConv::from_float(&w, &bias, 1, 1).unwrap();
+        let y_batch = batch_conv.forward(&x).unwrap();
+        assert_eq!(y_batch.shape(), &[3, 2, 7, 7]);
+
+        // Per-sample execution through the float reference for tolerance.
+        let single = HwConv::from_float(&w, &bias, 1, 1).unwrap();
+        for bi in 0..3 {
+            let sample = x.sample(bi);
+            let y_single = single.forward(&sample).unwrap();
+            let scale = y_single.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+            for (o, (a, b)) in y_batch.sample(bi).data().iter().zip(y_single.data()).enumerate() {
+                // Batch shares one activation range; per-sample uses its
+                // own — allow a small quantization delta.
+                assert!((a - b).abs() < 0.05 * scale, "sample {bi} elem {o}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_read_serves_whole_batch() {
+        // Structural check: the stack returns one sum per plane from a
+        // single call — the batch parallelism itself is exercised above;
+        // here we confirm the read count does not scale with batch size.
+        let mut stack = Stack3d::new(4, 4, 8);
+        for p in 0..8 {
+            stack.write_plane(p, &[1; 16]).unwrap();
+        }
+        let sums = stack.direct_conv_window(0, 0, 2, 2, &[1, 1, 1, 1]).unwrap();
+        assert_eq!(sums, vec![4; 8]);
+    }
+
+    #[test]
+    fn strided_batch_conv_shapes() {
+        let w = random_tensor(&[1, 1, 3, 3], 53, -0.3, 0.3);
+        let conv = HwBatchConv::from_float(&w, &[0.0], 2, 1).unwrap();
+        let x = random_tensor(&[2, 1, 8, 8], 54, 0.0, 1.0);
+        let y = conv.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[2, 1, 4, 4]);
+    }
+
+    #[test]
+    fn channel_mismatch_rejected() {
+        let w = Tensor::zeros(&[1, 2, 3, 3]);
+        let conv = HwBatchConv::from_float(&w, &[0.0], 1, 1).unwrap();
+        assert!(conv.forward(&Tensor::zeros(&[1, 3, 6, 6])).is_err());
+    }
+}

@@ -1,0 +1,736 @@
+//! Functional execution of trained networks on the simulated INCA
+//! hardware.
+//!
+//! Where [`inca_sim`] prices layers analytically, this module actually
+//! *computes* them the way the hardware would (§IV-C):
+//!
+//! * activations are quantized to 8-bit codes and written, one bit-plane
+//!   per [`inca_xbar::VerticalPlane`], into 16 × 16 partitions (with zero
+//!   padding written as off cells),
+//! * kernels are quantized to signed 8-bit and split into positive and
+//!   negative parts (the standard differential-pair PIM encoding),
+//! * every output is produced by direct-convolution window reads,
+//!   digitized through the 4-bit [`inca_xbar::AdcReadout`], merged across
+//!   partitions by the halo adder tree, recombined by shift-adds, and
+//!   dequantized,
+//! * fully-connected layers run on a WS-style [`inca_xbar::Crossbar2d`]
+//!   with the same differential encoding.
+//!
+//! The test suite proves the hardware path classifies the synthetic task
+//! with (near-)float accuracy — the end-to-end functional validation of
+//! INCA's direct-convolution story.
+
+#![allow(clippy::needless_range_loop)] // loops index several arrays with one shared variable
+use inca_nn::Tensor;
+use inca_xbar::quant::slice_to_bit_planes;
+use inca_xbar::sliding::output_dims_padded;
+use inca_xbar::{AdcReadout, Crossbar2d, VerticalPlane};
+
+use crate::{Error, Result};
+
+/// Quantization width of activations and weights (Table II: 8-bit).
+const DATA_BITS: u8 = 8;
+
+/// One bit-plane of one spatial partition of the input feature map.
+#[derive(Debug, Clone)]
+struct Partition {
+    /// Top-left of this tile in padded-image coordinates.
+    row0: usize,
+    col0: usize,
+    planes: Vec<VerticalPlane>, // one per activation bit
+}
+
+/// A convolution layer programmed onto INCA hardware.
+///
+/// # Examples
+///
+/// ```
+/// use inca_core::HwConv;
+/// use inca_nn::Tensor;
+///
+/// // A 1-in/1-out 3x3 conv with identity-ish weights.
+/// let mut w = Tensor::zeros(&[1, 1, 3, 3]);
+/// w.data_mut()[4] = 1.0; // center tap
+/// let conv = HwConv::from_float(&w, &[0.0], 1, 1)?;
+/// let x = Tensor::from_vec(vec![0.5; 16], &[1, 1, 4, 4]);
+/// let y = conv.forward(&x)?;
+/// assert_eq!(y.shape(), &[1, 1, 4, 4]);
+/// // The center-tap kernel reproduces the input (up to quantization).
+/// assert!((y.data()[5] - 0.5).abs() < 0.02);
+/// # Ok::<(), inca_core::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HwConv {
+    out_ch: usize,
+    in_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    /// Positive and negative kernel codes: `[out][in][k*k]`, 0..255.
+    w_pos: Vec<Vec<Vec<u32>>>,
+    w_neg: Vec<Vec<Vec<u32>>>,
+    w_scale: f32,
+    bias: Vec<f32>,
+    /// Subarray side (16 in the paper).
+    side: usize,
+    adc: AdcReadout,
+}
+
+impl HwConv {
+    /// Quantizes float weights (`[out, in, k, k]`) and biases onto the
+    /// differential-pair PIM encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] if the weight tensor is not 4-D or the
+    /// bias length does not match the output channels.
+    pub fn from_float(weights: &Tensor, bias: &[f32], stride: usize, pad: usize) -> Result<Self> {
+        if weights.shape().len() != 4 {
+            return Err(Error::Config(format!("expected [out,in,k,k] weights, got {:?}", weights.shape())));
+        }
+        let [out_ch, in_ch, k, k2] = weights.dims4();
+        if k != k2 {
+            return Err(Error::Config("only square kernels supported".into()));
+        }
+        if bias.len() != out_ch {
+            return Err(Error::Config(format!("{} biases for {out_ch} output channels", bias.len())));
+        }
+        let levels = f32::from((1u16 << DATA_BITS) - 1);
+        let w_max = weights.data().iter().fold(0.0f32, |m, &w| m.max(w.abs())).max(1e-12);
+        let w_scale = w_max / levels;
+        let code = |w: f32| -> (u32, u32) {
+            let q = (w / w_scale).round() as i32;
+            if q >= 0 {
+                (q as u32, 0)
+            } else {
+                (0, (-q) as u32)
+            }
+        };
+        let mut w_pos = vec![vec![vec![0u32; k * k]; in_ch]; out_ch];
+        let mut w_neg = vec![vec![vec![0u32; k * k]; in_ch]; out_ch];
+        for o in 0..out_ch {
+            for c in 0..in_ch {
+                for i in 0..k * k {
+                    let w = weights.at4(o, c, i / k, i % k);
+                    let (p, n) = code(w);
+                    w_pos[o][c][i] = p;
+                    w_neg[o][c][i] = n;
+                }
+            }
+        }
+        Ok(Self {
+            out_ch,
+            in_ch,
+            k,
+            stride,
+            pad,
+            w_pos,
+            w_neg,
+            w_scale,
+            bias: bias.to_vec(),
+            side: 16,
+            adc: AdcReadout::new(4),
+        })
+    }
+
+    /// Overrides the subarray side (for partitioning ablations).
+    #[must_use]
+    pub fn with_side(mut self, side: usize) -> Self {
+        self.side = side.max(self.k);
+        self
+    }
+
+    /// Executes the layer on a single-sample NCHW tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] for a batch larger than 1 or a channel
+    /// mismatch, and propagates hardware-level errors.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let [n, c, h, w] = x.dims4();
+        if n != 1 {
+            return Err(Error::Config("HwConv::forward executes one sample; map the batch to 3D planes".into()));
+        }
+        if c != self.in_ch {
+            return Err(Error::Config(format!("expected {} input channels, got {c}", self.in_ch)));
+        }
+        // Activation quantization with offset encoding: codes represent
+        // `v = code * x_scale + x_min`, so signed inputs (e.g. the raw
+        // image) survive; the offset term is corrected analytically after
+        // accumulation (standard PIM practice).
+        let levels = f32::from((1u16 << DATA_BITS) - 1);
+        let x_min = x.data().iter().fold(0.0f32, |m, &v| m.min(v)).min(0.0);
+        let x_max = x.data().iter().fold(0.0f32, |m, &v| m.max(v)).max(x_min + 1e-9);
+        let x_scale = ((x_max - x_min) / levels).max(1e-12);
+        let quantize =
+            |v: f32| -> u32 { (((v - x_min) / x_scale).round() as u32).min(levels as u32) };
+        // Code representing the value 0.0 — written into the padding halo.
+        let zero_code = quantize(0.0);
+
+        // Write each channel's padded image into 16x16 partitions,
+        // one plane per activation bit (§IV-C intra-layer mapping).
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        let channel_partitions: Vec<Vec<Partition>> = (0..c)
+            .map(|ci| self.write_channel(x, ci, h, w, ph, pw, zero_code, &quantize))
+            .collect::<Result<_>>()?;
+
+        // Per-output-channel kernel code sums for the offset correction:
+        // out = scale_x*scale_w*acc + x_min*scale_w*sum(w_codes) + bias.
+        let kernel_code_sum: Vec<i64> = (0..self.out_ch)
+            .map(|o| {
+                (0..c)
+                    .map(|ci| {
+                        let p: i64 = self.w_pos[o][ci].iter().map(|&v| i64::from(v)).sum();
+                        let n: i64 = self.w_neg[o][ci].iter().map(|&v| i64::from(v)).sum();
+                        p - n
+                    })
+                    .sum()
+            })
+            .collect();
+
+        let (oh, ow) = output_dims_padded(h, w, self.k, self.k, self.stride, self.pad);
+        let mut out = Tensor::zeros(&[1, self.out_ch, oh, ow]);
+        for o in 0..self.out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let (ry, rx) = (oy * self.stride, ox * self.stride);
+                    let mut acc: i64 = 0;
+                    for (ci, partitions) in channel_partitions.iter().enumerate() {
+                        acc += self.window_dot(partitions, ry, rx, &self.w_pos[o][ci])?;
+                        acc -= self.window_dot(partitions, ry, rx, &self.w_neg[o][ci])?;
+                    }
+                    let value = acc as f32 * x_scale * self.w_scale
+                        + x_min * self.w_scale * kernel_code_sum[o] as f32
+                        + self.bias[o];
+                    *out.at4_mut(0, o, oy, ox) = value;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Quantizes one channel into bit-plane partitions.
+    #[allow(clippy::too_many_arguments)]
+    fn write_channel(
+        &self,
+        x: &Tensor,
+        ci: usize,
+        h: usize,
+        w: usize,
+        ph: usize,
+        pw: usize,
+        zero_code: u32,
+        quantize: &dyn Fn(f32) -> u32,
+    ) -> Result<Vec<Partition>> {
+        // Padded channel codes; the halo carries the code of value 0.
+        let mut codes = vec![zero_code; ph * pw];
+        for y in 0..h {
+            for xx in 0..w {
+                codes[(y + self.pad) * pw + xx + self.pad] = quantize(x.at4(0, ci, y, xx));
+            }
+        }
+        // Partition with one-window halo overlap so every window lies
+        // within a single tile (halo replication; the adder-tree variant
+        // computes split partial sums — numerically identical).
+        let step = self.side - (self.k - 1);
+        let mut partitions = Vec::new();
+        let mut row0 = 0;
+        while row0 < ph {
+            let tile_h = self.side.min(ph - row0);
+            let mut col0 = 0;
+            while col0 < pw {
+                let tile_w = self.side.min(pw - col0);
+                let mut tile = vec![0u32; tile_h * tile_w];
+                for y in 0..tile_h {
+                    for xx in 0..tile_w {
+                        tile[y * tile_w + xx] = codes[(row0 + y) * pw + col0 + xx];
+                    }
+                }
+                let planes = slice_to_bit_planes(&tile, DATA_BITS)
+                    .into_iter()
+                    .map(|bits| {
+                        let mut p = VerticalPlane::new(tile_h, tile_w);
+                        p.write_bits(&bits)?;
+                        Ok(p)
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                partitions.push(Partition { row0, col0, planes });
+                if col0 + tile_w >= pw {
+                    break;
+                }
+                col0 += step;
+            }
+            if row0 + tile_h >= ph {
+                break;
+            }
+            row0 += step;
+        }
+        Ok(partitions)
+    }
+
+    /// One window's bit-serial dot product against an unsigned kernel,
+    /// digitized per (wbit, xbit) through the 4-bit ADC.
+    fn window_dot(&self, partitions: &[Partition], ry: usize, rx: usize, kernel: &[u32]) -> Result<i64> {
+        let tile = find_tile(partitions, ry, rx, self.k)?;
+        let w_planes = slice_to_bit_planes(kernel, DATA_BITS);
+        let mut acc: i64 = 0;
+        for (wb, wp) in w_planes.iter().enumerate() {
+            for (xb, plane) in tile.planes.iter().enumerate() {
+                let raw = plane.direct_conv_window(ry - tile.row0, rx - tile.col0, self.k, self.k, wp)?;
+                // 4-bit ADC: exact for 3x3 windows (≤ 9 binary products).
+                let code = self.adc.digitize(raw);
+                acc += i64::from(code) << (wb + xb);
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Executes the layer with *analog* reads: every window read produces a
+    /// physical current through the Table II device model, perturbed by
+    /// `noise`, and is digitized by rounding to the nearest on-current
+    /// multiple — the full Fig 8d signal path.
+    ///
+    /// This is the functional version of the paper's robustness argument:
+    /// because a window sums at most `k²` on-currents, the 4-bit ADC's
+    /// decision levels survive several percent of device noise.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HwConv::forward`].
+    pub fn forward_noisy<R: rand::Rng + ?Sized>(
+        &self,
+        x: &Tensor,
+        params: &inca_device::DeviceParams,
+        noise: &inca_device::NoiseModel,
+        rng: &mut R,
+    ) -> Result<Tensor> {
+        // Reuse the digital path's quantization/partitioning by swapping
+        // the window read for the analog one.
+        let [n, c, h, w] = x.dims4();
+        if n != 1 || c != self.in_ch {
+            return Err(Error::Config("forward_noisy executes one sample with matching channels".into()));
+        }
+        let levels = f32::from((1u16 << DATA_BITS) - 1);
+        let x_min = x.data().iter().fold(0.0f32, |m, &v| m.min(v)).min(0.0);
+        let x_max = x.data().iter().fold(0.0f32, |m, &v| m.max(v)).max(x_min + 1e-9);
+        let x_scale = ((x_max - x_min) / levels).max(1e-12);
+        let quantize = |v: f32| -> u32 { (((v - x_min) / x_scale).round() as u32).min(levels as u32) };
+        let zero_code = quantize(0.0);
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        let channel_partitions: Vec<Vec<Partition>> = (0..c)
+            .map(|ci| self.write_channel(x, ci, h, w, ph, pw, zero_code, &quantize))
+            .collect::<Result<_>>()?;
+        let kernel_code_sum: Vec<i64> = (0..self.out_ch)
+            .map(|o| {
+                (0..c)
+                    .map(|ci| {
+                        let p: i64 = self.w_pos[o][ci].iter().map(|&v| i64::from(v)).sum();
+                        let q: i64 = self.w_neg[o][ci].iter().map(|&v| i64::from(v)).sum();
+                        p - q
+                    })
+                    .sum()
+            })
+            .collect();
+
+        let unit = params.read_voltage * params.g_on();
+        let (oh, ow) = output_dims_padded(h, w, self.k, self.k, self.stride, self.pad);
+        let mut out = Tensor::zeros(&[1, self.out_ch, oh, ow]);
+        for o in 0..self.out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let (ry, rx) = (oy * self.stride, ox * self.stride);
+                    let mut acc: i64 = 0;
+                    for (ci, partitions) in channel_partitions.iter().enumerate() {
+                        for (sign, kernel) in
+                            [(1i64, &self.w_pos[o][ci]), (-1i64, &self.w_neg[o][ci])]
+                        {
+                            let tile = find_tile(partitions, ry, rx, self.k)?;
+                            let w_planes = slice_to_bit_planes(kernel, DATA_BITS);
+                            for (wb, wp) in w_planes.iter().enumerate() {
+                                for (xb, plane) in tile.planes.iter().enumerate() {
+                                    let current = plane.analog_conv_current(
+                                        ry - tile.row0,
+                                        rx - tile.col0,
+                                        self.k,
+                                        self.k,
+                                        wp,
+                                        params,
+                                        noise,
+                                        rng,
+                                    )?;
+                                    let code = self.adc.digitize((current / unit).round().max(0.0) as u32);
+                                    acc += sign * (i64::from(code) << (wb + xb));
+                                }
+                            }
+                        }
+                    }
+                    *out.at4_mut(0, o, oy, ox) = acc as f32 * x_scale * self.w_scale
+                        + x_min * self.w_scale * kernel_code_sum[o] as f32
+                        + self.bias[o];
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Finds the partition whose tile fully contains the window at `(ry, rx)`.
+fn find_tile(partitions: &[Partition], ry: usize, rx: usize, k: usize) -> Result<&Partition> {
+    partitions
+        .iter()
+        .find(|p| {
+            ry >= p.row0
+                && rx >= p.col0
+                && ry + k <= p.row0 + p.planes[0].rows()
+                && rx + k <= p.col0 + p.planes[0].cols()
+        })
+        .ok_or_else(|| Error::Config("window not covered by any partition".into()))
+}
+
+/// The weight-stationary baseline's conv executor: kernels unrolled onto a
+/// crossbar (GEMM-based convolution, §III-B), windows unrolled into input
+/// vectors at runtime. The functional counterpart of [`HwConv`] — both
+/// must produce identical outputs for identical weights, which the test
+/// suite verifies (the two dataflows compute the same mathematics by
+/// construction).
+#[derive(Debug, Clone)]
+pub struct HwWsConv {
+    in_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    /// One [`HwLinear`]-style differential crossbar over the unrolled
+    /// window (fan-in = k·k·cin), out = cout.
+    gemm: HwLinear,
+}
+
+impl HwWsConv {
+    /// Quantizes float weights (`[out, in, k, k]`) onto unrolled crossbar
+    /// columns.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`HwConv::from_float`].
+    pub fn from_float(weights: &Tensor, bias: &[f32], stride: usize, pad: usize) -> Result<Self> {
+        if weights.shape().len() != 4 {
+            return Err(Error::Config(format!("expected [out,in,k,k] weights, got {:?}", weights.shape())));
+        }
+        let [out_ch, in_ch, k, k2] = weights.dims4();
+        if k != k2 {
+            return Err(Error::Config("only square kernels supported".into()));
+        }
+        // Unroll [out, in, k, k] -> [out, in*k*k] in window order
+        // (channel-major, then kh, kw — matching the window unroll below).
+        let fan_in = in_ch * k * k;
+        let mut unrolled = Tensor::zeros(&[out_ch, fan_in]);
+        for o in 0..out_ch {
+            for c in 0..in_ch {
+                for kh in 0..k {
+                    for kw in 0..k {
+                        let col = (c * k + kh) * k + kw;
+                        unrolled.data_mut()[o * fan_in + col] = weights.at4(o, c, kh, kw);
+                    }
+                }
+            }
+        }
+        Ok(Self { in_ch, k, stride, pad, gemm: HwLinear::from_float(&unrolled, bias)? })
+    }
+
+    /// Executes the layer on a single-sample NCHW tensor.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HwConv::forward`].
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        let [n, c, h, w] = x.dims4();
+        if n != 1 || c != self.in_ch {
+            return Err(Error::Config("HwWsConv::forward executes one sample with matching channels".into()));
+        }
+        let (oh, ow) = output_dims_padded(h, w, self.k, self.k, self.stride, self.pad);
+        let out_ch = self.gemm.out_features();
+        let fan_in = self.in_ch * self.k * self.k;
+        let mut out = Tensor::zeros(&[1, out_ch, oh, ow]);
+        let at_padded = |ci: usize, y: isize, xx: isize| -> f32 {
+            if y < 0 || xx < 0 || y as usize >= h || xx as usize >= w {
+                0.0
+            } else {
+                x.at4(0, ci, y as usize, xx as usize)
+            }
+        };
+        for oy in 0..oh {
+            for ox in 0..ow {
+                // Unroll the window into the GEMM input vector.
+                let mut window = Tensor::zeros(&[1, fan_in]);
+                for ci in 0..self.in_ch {
+                    for kh in 0..self.k {
+                        for kw in 0..self.k {
+                            let y = (oy * self.stride + kh) as isize - self.pad as isize;
+                            let xx = (ox * self.stride + kw) as isize - self.pad as isize;
+                            window.data_mut()[(ci * self.k + kh) * self.k + kw] = at_padded(ci, y, xx);
+                        }
+                    }
+                }
+                let result = self.gemm.forward(&window)?;
+                for o in 0..out_ch {
+                    *out.at4_mut(0, o, oy, ox) = result.data()[o];
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A fully-connected layer executed on a WS crossbar with differential
+/// weight columns (positive / negative pairs).
+#[derive(Debug, Clone)]
+pub struct HwLinear {
+    in_f: usize,
+    out_f: usize,
+    pos: Crossbar2d,
+    neg: Crossbar2d,
+    /// `[out][bit]` column indices are implicit: column = out * bits + bit.
+    w_scale: f32,
+    /// Per-output signed sum of weight codes (offset correction).
+    w_code_sum: Vec<i64>,
+    bias: Vec<f32>,
+}
+
+impl HwLinear {
+    /// Quantizes a `[out, in]` float weight matrix onto two crossbars.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] on shape mismatch.
+    pub fn from_float(weights: &Tensor, bias: &[f32]) -> Result<Self> {
+        if weights.shape().len() != 2 {
+            return Err(Error::Config(format!("expected [out,in] weights, got {:?}", weights.shape())));
+        }
+        let out_f = weights.shape()[0];
+        let in_f = weights.shape()[1];
+        if bias.len() != out_f {
+            return Err(Error::Config("bias length mismatch".into()));
+        }
+        let levels = f32::from((1u16 << DATA_BITS) - 1);
+        let w_max = weights.data().iter().fold(0.0f32, |m, &w| m.max(w.abs())).max(1e-12);
+        let w_scale = w_max / levels;
+        let bits = usize::from(DATA_BITS);
+        let mut pos = Crossbar2d::new(in_f, out_f * bits);
+        let mut neg = Crossbar2d::new(in_f, out_f * bits);
+        let mut w_code_sum = vec![0i64; out_f];
+        for o in 0..out_f {
+            let mut p_codes = vec![0u32; in_f];
+            let mut n_codes = vec![0u32; in_f];
+            for i in 0..in_f {
+                let q = (weights.data()[o * in_f + i] / w_scale).round() as i32;
+                if q >= 0 {
+                    p_codes[i] = q as u32;
+                } else {
+                    n_codes[i] = (-q) as u32;
+                }
+            }
+            for (codes, xbar) in [(&p_codes, &mut pos), (&n_codes, &mut neg)] {
+                for (b, plane) in slice_to_bit_planes(codes, DATA_BITS).iter().enumerate() {
+                    xbar.program_column(o * bits + b, plane)?;
+                }
+            }
+            w_code_sum[o] = p_codes.iter().map(|&v| i64::from(v)).sum::<i64>()
+                - n_codes.iter().map(|&v| i64::from(v)).sum::<i64>();
+        }
+        Ok(Self { in_f, out_f, pos, neg, w_scale, w_code_sum, bias: bias.to_vec() })
+    }
+
+    /// Number of output features.
+    #[must_use]
+    pub fn out_features(&self) -> usize {
+        self.out_f
+    }
+
+    /// Executes the layer on a `[1, in]` tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Config`] on shape mismatch.
+    pub fn forward(&self, x: &Tensor) -> Result<Tensor> {
+        if x.len() != self.in_f {
+            return Err(Error::Config(format!("expected {} inputs, got {}", self.in_f, x.len())));
+        }
+        let levels = f32::from((1u16 << DATA_BITS) - 1);
+        let x_min = x.data().iter().fold(0.0f32, |m, &v| m.min(v)).min(0.0);
+        let x_max = x.data().iter().fold(0.0f32, |m, &v| m.max(v)).max(x_min + 1e-9);
+        let x_scale = ((x_max - x_min) / levels).max(1e-12);
+        let codes: Vec<u32> = x
+            .data()
+            .iter()
+            .map(|&v| (((v - x_min) / x_scale).round() as u32).min(levels as u32))
+            .collect();
+        let x_planes = slice_to_bit_planes(&codes, DATA_BITS);
+
+        let bits = usize::from(DATA_BITS);
+        let mut acc = vec![0i64; self.out_f];
+        for (xb, xp) in x_planes.iter().enumerate() {
+            let p = self.pos.mvm_binary(xp)?;
+            let n = self.neg.mvm_binary(xp)?;
+            for o in 0..self.out_f {
+                for b in 0..bits {
+                    let col = o * bits + b;
+                    acc[o] += (i64::from(p[col]) - i64::from(n[col])) << (b + xb);
+                }
+            }
+        }
+        let out: Vec<f32> = acc
+            .iter()
+            .enumerate()
+            .map(|(o, &a)| {
+                a as f32 * x_scale * self.w_scale
+                    + x_min * self.w_scale * self.w_code_sum[o] as f32
+                    + self.bias[o]
+            })
+            .collect();
+        Ok(Tensor::from_vec(out, &[1, self.out_f]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(shape: &[usize], seed: u64, lo: f32, hi: f32) -> Tensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Tensor::from_vec(
+            (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(lo..hi)).collect(),
+            shape,
+        )
+    }
+
+    /// Reference float convolution for comparison.
+    fn float_conv(x: &Tensor, w: &Tensor, bias: &[f32], stride: usize, pad: usize) -> Tensor {
+        let mut conv = inca_nn::layers::Conv2d::new(w.dims4()[1], w.dims4()[0], w.dims4()[2], stride, pad, 0);
+        use inca_nn::Layer as _;
+        conv.weights_mut().data_mut().copy_from_slice(w.data());
+        let mut y = conv.forward(x);
+        let [_, oc, oh, ow] = y.dims4();
+        for o in 0..oc {
+            for i in 0..oh * ow {
+                y.data_mut()[o * oh * ow + i] += bias[o];
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn hw_conv_matches_float_within_quantization() {
+        let w = random_tensor(&[4, 3, 3, 3], 1, -0.5, 0.5);
+        let bias = [0.1f32, -0.2, 0.0, 0.3];
+        let x = random_tensor(&[1, 3, 10, 10], 2, 0.0, 1.0);
+        let hw = HwConv::from_float(&w, &bias, 1, 1).unwrap();
+        let y_hw = hw.forward(&x).unwrap();
+        let y_ref = float_conv(&x, &w, &bias, 1, 1);
+        assert_eq!(y_hw.shape(), y_ref.shape());
+        let scale = y_ref.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (a, b) in y_hw.data().iter().zip(y_ref.data()) {
+            assert!((a - b).abs() < 0.02 * scale.max(1.0), "hw {a} vs float {b}");
+        }
+    }
+
+    #[test]
+    fn hw_conv_spans_partitions() {
+        // 20x20 input needs multiple 16x16 tiles; halo replication must
+        // cover every window.
+        let w = random_tensor(&[2, 1, 3, 3], 3, -0.4, 0.4);
+        let x = random_tensor(&[1, 1, 20, 20], 4, 0.0, 1.0);
+        let hw = HwConv::from_float(&w, &[0.0, 0.0], 1, 1).unwrap();
+        let y_hw = hw.forward(&x).unwrap();
+        let y_ref = float_conv(&x, &w, &[0.0, 0.0], 1, 1);
+        let scale = y_ref.data().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        for (a, b) in y_hw.data().iter().zip(y_ref.data()) {
+            assert!((a - b).abs() < 0.02 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn strided_conv() {
+        let w = random_tensor(&[2, 2, 3, 3], 5, -0.3, 0.3);
+        let x = random_tensor(&[1, 2, 12, 12], 6, 0.0, 1.0);
+        let hw = HwConv::from_float(&w, &[0.0, 0.0], 2, 1).unwrap();
+        let y = hw.forward(&x).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 6, 6]);
+    }
+
+    #[test]
+    fn hw_linear_matches_float() {
+        let w = random_tensor(&[5, 12], 7, -0.6, 0.6);
+        let bias = [0.0f32, 0.1, -0.1, 0.2, 0.05];
+        let x = random_tensor(&[1, 12], 8, 0.0, 1.0);
+        let hw = HwLinear::from_float(&w, &bias).unwrap();
+        let y = hw.forward(&x).unwrap();
+        for o in 0..5 {
+            let expected: f32 =
+                (0..12).map(|i| w.data()[o * 12 + i] * x.data()[i]).sum::<f32>() + bias[o];
+            assert!((y.data()[o] - expected).abs() < 0.02, "out {o}: {} vs {expected}", y.data()[o]);
+        }
+    }
+
+    #[test]
+    fn noisy_analog_path_matches_digital_at_low_sigma() {
+        use inca_device::{DeviceParams, NoiseModel};
+        use rand::SeedableRng;
+        let w = random_tensor(&[2, 2, 3, 3], 11, -0.4, 0.4);
+        let x = random_tensor(&[1, 2, 8, 8], 12, -0.5, 1.0);
+        let hw = HwConv::from_float(&w, &[0.0, 0.0], 1, 1).unwrap();
+        let digital = hw.forward(&x).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let noisy = hw
+            .forward_noisy(&x, &DeviceParams::default(), &NoiseModel::relative(0.02), &mut rng)
+            .unwrap();
+        // 2% device noise stays within the 4-bit ADC decision levels, so
+        // the analog path digitizes to the same codes as the digital path.
+        let scale = digital.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+        for (a, b) in noisy.data().iter().zip(digital.data()) {
+            assert!((a - b).abs() < 0.05 * scale, "noisy {a} vs digital {b}");
+        }
+    }
+
+    #[test]
+    fn ws_and_is_hardware_agree() {
+        // The two dataflows compute the same mathematics: a WS unrolled
+        // crossbar and an IS direct-convolution plane programmed with the
+        // same float weights must produce near-identical outputs (both are
+        // 8-bit quantized, with independent per-call activation ranges).
+        let w = random_tensor(&[3, 2, 3, 3], 21, -0.5, 0.5);
+        let bias = [0.05f32, -0.1, 0.2];
+        let x = random_tensor(&[1, 2, 9, 9], 22, -0.6, 1.0);
+        let is = HwConv::from_float(&w, &bias, 1, 1).unwrap().forward(&x).unwrap();
+        let ws = HwWsConv::from_float(&w, &bias, 1, 1).unwrap().forward(&x).unwrap();
+        assert_eq!(is.shape(), ws.shape());
+        let scale = is.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+        for (a, b) in is.data().iter().zip(ws.data()) {
+            assert!((a - b).abs() < 0.04 * scale, "IS {a} vs WS {b}");
+        }
+    }
+
+    #[test]
+    fn ws_conv_matches_float() {
+        let w = random_tensor(&[2, 1, 3, 3], 31, -0.5, 0.5);
+        let x = random_tensor(&[1, 1, 7, 7], 32, 0.0, 1.0);
+        let hw = HwWsConv::from_float(&w, &[0.0, 0.0], 2, 1).unwrap();
+        let y_hw = hw.forward(&x).unwrap();
+        let y_ref = float_conv(&x, &w, &[0.0, 0.0], 2, 1);
+        assert_eq!(y_hw.shape(), y_ref.shape());
+        let scale = y_ref.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-6);
+        for (a, b) in y_hw.data().iter().zip(y_ref.data()) {
+            assert!((a - b).abs() < 0.03 * scale, "hw {a} vs float {b}");
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        let w = Tensor::zeros(&[2, 1, 3, 3]);
+        assert!(HwConv::from_float(&w, &[0.0], 1, 1).is_err()); // bias mismatch
+        let conv = HwConv::from_float(&w, &[0.0, 0.0], 1, 1).unwrap();
+        assert!(conv.forward(&Tensor::zeros(&[1, 2, 8, 8])).is_err()); // channel mismatch
+        assert!(conv.forward(&Tensor::zeros(&[2, 1, 8, 8])).is_err()); // batch > 1
+    }
+}

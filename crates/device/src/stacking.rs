@@ -1,0 +1,121 @@
+use serde::{Deserialize, Serialize};
+
+/// The two 3D RRAM integration styles of §II-A (Fig 2).
+///
+/// * **VRRAM** — horizontal word planes stacked vertically, pillars rise
+///   through them. Fabrication limits the *number of stacked layers*
+///   (deposition/etch budget) but planes can be large.
+/// * **HRRAM** — vertical planes stacked horizontally. Fabrication limits
+///   the *plane size* (aspect ratio of the vertical slab) but many planes
+///   can be stacked side by side.
+///
+/// "INCA demands a design with highly stacked 3D RRAM but not a large size
+/// plane. Therefore, we chose HRRAM as a foundation" — this module encodes
+/// that trade-off quantitatively so the choice is checkable rather than
+/// asserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StackingStyle {
+    /// Vertically stacked horizontal planes.
+    Vrram,
+    /// Horizontally stacked vertical planes.
+    Hrram,
+}
+
+/// Fabrication limits of a 3D RRAM process for one stacking style.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StackingLimits {
+    /// The style these limits describe.
+    pub style: StackingStyle,
+    /// Maximum number of stacked planes.
+    pub max_planes: usize,
+    /// Maximum plane side length in cells.
+    pub max_plane_side: usize,
+}
+
+impl StackingLimits {
+    /// Representative published limits for vertically integrated RRAM
+    /// (BiCS-class processes, §II-A references): layer counts saturate in
+    /// the tens while planes can span hundreds of cells.
+    #[must_use]
+    pub fn vrram_typical() -> Self {
+        Self { style: StackingStyle::Vrram, max_planes: 16, max_plane_side: 512 }
+    }
+
+    /// Representative limits for horizontally stacked vertical planes
+    /// (encapsulation-layer + transistor-stacking processes): plane side
+    /// is bounded by the slab aspect ratio, but lateral repetition is
+    /// lithography-cheap.
+    #[must_use]
+    pub fn hrram_typical() -> Self {
+        Self { style: StackingStyle::Hrram, max_planes: 256, max_plane_side: 32 }
+    }
+
+    /// Whether an `side × side × planes` array is fabricable under these
+    /// limits.
+    #[must_use]
+    pub fn supports(&self, side: usize, planes: usize) -> bool {
+        side <= self.max_plane_side && planes <= self.max_planes
+    }
+
+    /// The largest INCA-style array (`side × side × planes`) with the
+    /// given plane side, in cells.
+    #[must_use]
+    pub fn max_cells_at_side(&self, side: usize) -> usize {
+        if side > self.max_plane_side {
+            0
+        } else {
+            side * side * self.max_planes
+        }
+    }
+}
+
+/// Picks the stacking style able to realize the requested geometry,
+/// preferring HRRAM when both work (the paper's default).
+#[must_use]
+pub fn choose_stacking(side: usize, planes: usize) -> Option<StackingStyle> {
+    if StackingLimits::hrram_typical().supports(side, planes) {
+        Some(StackingStyle::Hrram)
+    } else if StackingLimits::vrram_typical().supports(side, planes) {
+        Some(StackingStyle::Vrram)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inca_geometry_needs_hrram() {
+        // Table II: 16 x 16 x 64. Only HRRAM can stack 64 planes.
+        assert!(StackingLimits::hrram_typical().supports(16, 64));
+        assert!(!StackingLimits::vrram_typical().supports(16, 64));
+        assert_eq!(choose_stacking(16, 64), Some(StackingStyle::Hrram));
+    }
+
+    #[test]
+    fn large_planes_need_vrram() {
+        // A 256x256 plane with few layers is VRRAM territory.
+        assert_eq!(choose_stacking(256, 8), Some(StackingStyle::Vrram));
+    }
+
+    #[test]
+    fn impossible_geometries_rejected() {
+        assert_eq!(choose_stacking(1024, 1024), None);
+    }
+
+    #[test]
+    fn max_cells_reflect_limits() {
+        let h = StackingLimits::hrram_typical();
+        assert_eq!(h.max_cells_at_side(16), 16 * 16 * 256);
+        assert_eq!(h.max_cells_at_side(64), 0);
+        let v = StackingLimits::vrram_typical();
+        assert_eq!(v.max_cells_at_side(128), 128 * 128 * 16);
+    }
+
+    #[test]
+    fn hrram_preferred_when_both_work() {
+        assert_eq!(choose_stacking(16, 8), Some(StackingStyle::Hrram));
+    }
+}

@@ -1,0 +1,35 @@
+//! Developer probe: accuracy under the Table VI noise protocol across
+//! σ values — used to calibrate the noise model (see EXPERIMENTS.md).
+
+use inca_nn::{layers, Loss, Network, NoiseInjection, SyntheticDataset, TrainConfig, Trainer};
+
+fn net(seed: u64, classes: usize) -> Network {
+    let mut n = Network::new();
+    n.push(layers::Conv2d::new(1, 8, 3, 1, 1, seed));
+    n.push(layers::Relu::new());
+    n.push(layers::MaxPool2d::new(2, 2));
+    n.push(layers::Conv2d::new(8, 16, 3, 1, 1, seed + 1));
+    n.push(layers::Relu::new());
+    n.push(layers::MaxPool2d::new(2, 2));
+    n.push(layers::Flatten::new());
+    n.push(layers::Linear::new(16 * 3 * 3, classes, seed + 2));
+    n
+}
+
+fn main() {
+    let classes = 10;
+    let ds = SyntheticDataset::generate(600, 12, classes, 11);
+    for (name, noise) in [
+        ("clean", NoiseInjection::none()),
+        ("wt 0.005", NoiseInjection::weights(0.005)),
+        ("wt 0.02", NoiseInjection::weights(0.02)),
+        ("wt 0.05", NoiseInjection::weights(0.05)),
+        ("act 0.005", NoiseInjection::activations(0.005)),
+        ("act 0.05", NoiseInjection::activations(0.05)),
+    ] {
+        let mut n = net(0, classes);
+        let mut t = Trainer::new(TrainConfig { epochs: 8, lr: 0.08, batch_size: 16, noise, ..TrainConfig::default() });
+        let s = t.fit(&mut n, &ds, Loss::CrossEntropy);
+        println!("{name:10} train {:.3} test {:.3}", s.final_train_accuracy, s.test_accuracy);
+    }
+}

@@ -1,0 +1,45 @@
+use std::fmt;
+
+/// Errors produced by the neural-network framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Tensor shapes are incompatible with the requested operation.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What was supplied.
+        got: String,
+    },
+    /// `backward` was called before `forward` cached its inputs.
+    BackwardBeforeForward,
+    /// A configuration value is invalid (e.g. zero batch size).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            NnError::BackwardBeforeForward => {
+                write!(f, "backward called before forward cached layer inputs")
+            }
+            NnError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = NnError::ShapeMismatch { expected: "[1, 2]".into(), got: "[3]".into() };
+        assert!(e.to_string().contains("[1, 2]"));
+    }
+}

@@ -1,0 +1,303 @@
+#![allow(clippy::needless_range_loop)] // loops index several arrays with one shared variable
+use super::{dims4_checked, Layer};
+use crate::Tensor;
+
+/// Batch normalization over the channel dimension of NCHW tensors.
+///
+/// Normalizes each channel to zero mean / unit variance over the batch and
+/// spatial dimensions, then applies the learned affine `γ·x̂ + β` — the 2·C
+/// parameters the workload specs count for the BN-based networks
+/// (ResNets, MobileNetV2, MNasNet).
+///
+/// Training mode uses batch statistics and updates running estimates;
+/// evaluation mode ([`BatchNorm2d::set_training`]) uses the running
+/// estimates.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    training: bool,
+    /// Cached per-channel (mean, inv_std) and normalized input.
+    cache: Option<(Vec<f32>, Vec<f32>, Tensor)>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    #[must_use]
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channel count must be positive");
+        Self {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::full(&[channels], 1.0),
+            beta: Tensor::zeros(&[channels]),
+            grad_gamma: Tensor::zeros(&[channels]),
+            grad_beta: Tensor::zeros(&[channels]),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            training: true,
+            cache: None,
+        }
+    }
+
+    /// Switches between training (batch statistics) and evaluation
+    /// (running statistics) behaviour.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    /// The scale parameters γ.
+    #[must_use]
+    pub fn gamma(&self) -> &Tensor {
+        &self.gamma
+    }
+
+    /// The shift parameters β.
+    #[must_use]
+    pub fn beta(&self) -> &Tensor {
+        &self.beta
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let [n, c, h, w] = dims4_checked(x, "BatchNorm2d");
+        assert_eq!(c, self.channels, "BatchNorm2d expects {} channels, got {c}", self.channels);
+        let count = (n * h * w) as f32;
+
+        let (mean, var): (Vec<f32>, Vec<f32>) = if self.training {
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for ci in 0..c {
+                let mut s = 0.0;
+                for ni in 0..n {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            s += x.at4(ni, ci, y, xx);
+                        }
+                    }
+                }
+                mean[ci] = s / count;
+                let mut v = 0.0;
+                for ni in 0..n {
+                    for y in 0..h {
+                        for xx in 0..w {
+                            let d = x.at4(ni, ci, y, xx) - mean[ci];
+                            v += d * d;
+                        }
+                    }
+                }
+                var[ci] = v / count;
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut normalized = Tensor::zeros(&[n, c, h, w]);
+        let mut out = Tensor::zeros(&[n, c, h, w]);
+        for ni in 0..n {
+            for ci in 0..c {
+                let g = self.gamma.data()[ci];
+                let b = self.beta.data()[ci];
+                for y in 0..h {
+                    for xx in 0..w {
+                        let xhat = (x.at4(ni, ci, y, xx) - mean[ci]) * inv_std[ci];
+                        *normalized.at4_mut(ni, ci, y, xx) = xhat;
+                        *out.at4_mut(ni, ci, y, xx) = g * xhat + b;
+                    }
+                }
+            }
+        }
+        self.cache = Some((mean, inv_std, normalized));
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (_, inv_std, xhat) = self.cache.as_ref().expect("backward before forward");
+        let [n, c, h, w] = xhat.dims4();
+        let count = (n * h * w) as f32;
+        let mut grad_in = Tensor::zeros(&[n, c, h, w]);
+        for ci in 0..c {
+            // Accumulate dγ, dβ and the two batch-coupled sums.
+            let mut sum_g = 0.0f32;
+            let mut sum_gx = 0.0f32;
+            for ni in 0..n {
+                for y in 0..h {
+                    for xx in 0..w {
+                        let g = grad_out.at4(ni, ci, y, xx);
+                        sum_g += g;
+                        sum_gx += g * xhat.at4(ni, ci, y, xx);
+                    }
+                }
+            }
+            self.grad_beta.data_mut()[ci] += sum_g;
+            self.grad_gamma.data_mut()[ci] += sum_gx;
+            let gamma = self.gamma.data()[ci];
+            for ni in 0..n {
+                for y in 0..h {
+                    for xx in 0..w {
+                        let g = grad_out.at4(ni, ci, y, xx);
+                        let xh = xhat.at4(ni, ci, y, xx);
+                        // dL/dx = γ/σ · (g − mean(g) − x̂·mean(g·x̂))
+                        *grad_in.at4_mut(ni, ci, y, xx) =
+                            gamma * inv_std[ci] * (g - sum_g / count - xh * sum_gx / count);
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn sgd_step(&mut self, lr: f32) {
+        for (p, g) in self.gamma.data_mut().iter_mut().zip(self.grad_gamma.data()) {
+            *p -= lr * g;
+        }
+        for (p, g) in self.beta.data_mut().iter_mut().zip(self.grad_beta.data()) {
+            *p -= lr * g;
+        }
+        self.zero_grads();
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_gamma.data_mut().fill(0.0);
+        self.grad_beta.data_mut().fill(0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.channels
+    }
+
+    fn map_weights(&mut self, f: &mut dyn FnMut(f32) -> f32) {
+        for w in self.gamma.data_mut() {
+            *w = f(*w);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "batch_norm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random(shape: &[usize], seed: u64) -> Tensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Tensor::from_vec(
+            (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(-2.0..3.0)).collect(),
+            shape,
+        )
+    }
+
+    #[test]
+    fn normalizes_to_zero_mean_unit_var() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = random(&[4, 2, 3, 3], 1);
+        let y = bn.forward(&x);
+        let [n, c, h, w] = y.dims4();
+        for ci in 0..c {
+            let mut s = 0.0f32;
+            let mut s2 = 0.0f32;
+            for ni in 0..n {
+                for yy in 0..h {
+                    for xx in 0..w {
+                        let v = y.at4(ni, ci, yy, xx);
+                        s += v;
+                        s2 += v * v;
+                    }
+                }
+            }
+            let count = (n * h * w) as f32;
+            assert!((s / count).abs() < 1e-4, "mean {}", s / count);
+            assert!((s2 / count - 1.0).abs() < 1e-3, "var {}", s2 / count);
+        }
+    }
+
+    #[test]
+    fn affine_parameters_apply() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.gamma.data_mut()[0] = 2.0;
+        bn.beta.data_mut()[0] = 5.0;
+        let x = random(&[2, 1, 2, 2], 3);
+        let y = bn.forward(&x);
+        let mean = y.mean();
+        assert!((mean - 5.0).abs() < 1e-4, "mean {mean}");
+    }
+
+    #[test]
+    fn eval_mode_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // Train on a few batches to populate running stats.
+        for seed in 0..20 {
+            let _ = bn.forward(&random(&[4, 1, 3, 3], seed));
+        }
+        bn.set_training(false);
+        let x = Tensor::full(&[1, 1, 2, 2], 0.5);
+        let y1 = bn.forward(&x);
+        let y2 = bn.forward(&x);
+        assert_eq!(y1, y2); // deterministic in eval mode
+    }
+
+    #[test]
+    fn gradient_check() {
+        let x = random(&[2, 2, 3, 3], 7);
+        let mut bn = BatchNorm2d::new(2);
+        let y = bn.forward(&x);
+        let grad_in = bn.backward(&Tensor::full(y.shape(), 1.0));
+        // Loss = sum(out). Numeric check on a handful of inputs.
+        let eps = 1e-2;
+        for xi in [0usize, 7, 17, 35] {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let numeric =
+                (BatchNorm2d::new(2).forward(&xp).sum() - BatchNorm2d::new(2).forward(&xm).sum()) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.data()[xi]).abs() < 2e-2,
+                "input {xi}: numeric {numeric} vs analytic {}",
+                grad_in.data()[xi]
+            );
+        }
+    }
+
+    #[test]
+    fn param_count_is_2c() {
+        assert_eq!(BatchNorm2d::new(16).param_count(), 32);
+    }
+
+    #[test]
+    fn trains_inside_a_network() {
+        use crate::{layers, Loss, Network, SyntheticDataset, TrainConfig, Trainer};
+        let dataset = SyntheticDataset::generate(160, 8, 4, 2);
+        let mut net = Network::new();
+        net.push(layers::Conv2d::new(1, 4, 3, 1, 1, 0));
+        net.push(BatchNorm2d::new(4));
+        net.push(layers::Relu::new());
+        net.push(layers::Flatten::new());
+        net.push(layers::Linear::new(4 * 8 * 8, 4, 1));
+        let mut trainer = Trainer::new(TrainConfig { epochs: 4, lr: 0.05, ..TrainConfig::default() });
+        let stats = trainer.fit(&mut net, &dataset, Loss::CrossEntropy);
+        assert!(stats.final_train_accuracy > 0.5, "accuracy {}", stats.final_train_accuracy);
+    }
+}

@@ -1,0 +1,307 @@
+use rand::{Rng, SeedableRng};
+
+use super::{dims4_checked, Layer};
+use crate::Tensor;
+
+/// A 2-D convolution layer (Eq. 1 of the paper).
+///
+/// Weights have shape `[out_channels, in_channels, k, k]`; the forward pass
+/// computes
+///
+/// ```text
+/// a(n, o, y, x) = b(o) + Σ_c Σ_kh Σ_kw w(o, c, kh, kw) · x(n, c, y·s + kh - p, x·s + kw - p)
+/// ```
+///
+/// with stride `s` and symmetric zero padding `p`. The backward pass
+/// implements Eq. 3 (input errors = output errors convolved with the
+/// transposed kernel) and Eq. 4 (weight gradients = input convolved with
+/// output errors).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    weights: Tensor,
+    bias: Tensor,
+    grad_w: Tensor,
+    grad_b: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with He-uniform initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `in_ch`, `out_ch`, `k`, `stride` is zero.
+    #[must_use]
+    pub fn new(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, seed: u64) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && k > 0 && stride > 0, "conv dimensions must be positive");
+        let fan_in = (in_ch * k * k) as f32;
+        let limit = (6.0 / fan_in).sqrt();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w: Vec<f32> = (0..out_ch * in_ch * k * k).map(|_| rng.gen_range(-limit..limit)).collect();
+        Self {
+            in_ch,
+            out_ch,
+            k,
+            stride,
+            pad,
+            weights: Tensor::from_vec(w, &[out_ch, in_ch, k, k]),
+            bias: Tensor::zeros(&[out_ch]),
+            grad_w: Tensor::zeros(&[out_ch, in_ch, k, k]),
+            grad_b: Tensor::zeros(&[out_ch]),
+            cached_input: None,
+        }
+    }
+
+    /// The weight tensor (`[out, in, k, k]`).
+    #[must_use]
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// The bias vector.
+    #[must_use]
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable bias access.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Mutable weight access (used by tests and quantization).
+    pub fn weights_mut(&mut self) -> &mut Tensor {
+        &mut self.weights
+    }
+
+    /// Output spatial size for an input of `h × w`.
+    #[must_use]
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        ((h + 2 * self.pad - self.k) / self.stride + 1, (w + 2 * self.pad - self.k) / self.stride + 1)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let [n, c, h, w] = dims4_checked(x, "Conv2d");
+        assert_eq!(c, self.in_ch, "Conv2d expects {} input channels, got {c}", self.in_ch);
+        let (oh, ow) = self.output_hw(h, w);
+        let mut out = Tensor::zeros(&[n, self.out_ch, oh, ow]);
+        for ni in 0..n {
+            for o in 0..self.out_ch {
+                let b = self.bias.data()[o];
+                for y in 0..oh {
+                    for xo in 0..ow {
+                        let mut acc = b;
+                        for ci in 0..self.in_ch {
+                            for kh in 0..self.k {
+                                let iy = y * self.stride + kh;
+                                if iy < self.pad || iy - self.pad >= h {
+                                    continue;
+                                }
+                                for kw in 0..self.k {
+                                    let ix = xo * self.stride + kw;
+                                    if ix < self.pad || ix - self.pad >= w {
+                                        continue;
+                                    }
+                                    acc += self.weights.at4(o, ci, kh, kw)
+                                        * x.at4(ni, ci, iy - self.pad, ix - self.pad);
+                                }
+                            }
+                        }
+                        *out.at4_mut(ni, o, y, xo) = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        let [n, _, h, w] = x.dims4();
+        let [gn, go, oh, ow] = grad_out.dims4();
+        assert_eq!(gn, n, "gradient batch mismatch");
+        assert_eq!(go, self.out_ch, "gradient channel mismatch");
+        let mut grad_in = Tensor::zeros(&[n, self.in_ch, h, w]);
+        for ni in 0..n {
+            for o in 0..self.out_ch {
+                for y in 0..oh {
+                    for xo in 0..ow {
+                        let g = grad_out.at4(ni, o, y, xo);
+                        if g == 0.0 {
+                            continue;
+                        }
+                        self.grad_b.data_mut()[o] += g;
+                        for ci in 0..self.in_ch {
+                            for kh in 0..self.k {
+                                let iy = y * self.stride + kh;
+                                if iy < self.pad || iy - self.pad >= h {
+                                    continue;
+                                }
+                                for kw in 0..self.k {
+                                    let ix = xo * self.stride + kw;
+                                    if ix < self.pad || ix - self.pad >= w {
+                                        continue;
+                                    }
+                                    let xi = x.at4(ni, ci, iy - self.pad, ix - self.pad);
+                                    *self.grad_w.at4_mut(o, ci, kh, kw) += g * xi;
+                                    *grad_in.at4_mut(ni, ci, iy - self.pad, ix - self.pad) +=
+                                        g * self.weights.at4(o, ci, kh, kw);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn sgd_step(&mut self, lr: f32) {
+        for (w, g) in self.weights.data_mut().iter_mut().zip(self.grad_w.data()) {
+            *w -= lr * g;
+        }
+        for (b, g) in self.bias.data_mut().iter_mut().zip(self.grad_b.data()) {
+            *b -= lr * g;
+        }
+        self.zero_grads();
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.data_mut().fill(0.0);
+        self.grad_b.data_mut().fill(0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn map_weights(&mut self, f: &mut dyn FnMut(f32) -> f32) {
+        for w in self.weights.data_mut() {
+            *w = f(*w);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Hand-computed 1-channel 3x3 input, 2x2 kernel, stride 1, no pad.
+    #[test]
+    fn forward_matches_hand_computation() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, 0);
+        conv.weights_mut().data_mut().copy_from_slice(&[1.0, 0.0, 0.0, -1.0]);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[1, 1, 3, 3]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // window tl=1 br=5 -> 1-5=-4; etc.
+        assert_eq!(y.data(), &[-4.0, -4.0, -4.0, -4.0]);
+    }
+
+    #[test]
+    fn padding_preserves_spatial_size() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, 1);
+        let x = Tensor::zeros(&[2, 1, 5, 5]);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[2, 2, 5, 5]);
+    }
+
+    #[test]
+    fn stride_two_halves_output() {
+        let mut conv = Conv2d::new(1, 1, 2, 2, 0, 1);
+        let x = Tensor::zeros(&[1, 1, 8, 8]);
+        assert_eq!(conv.forward(&x).shape(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        gradient_check(|| Conv2d::new(2, 2, 3, 1, 1, 3), &[1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn gradient_check_strided() {
+        gradient_check(|| Conv2d::new(1, 2, 2, 2, 0, 5), &[1, 1, 4, 4]);
+    }
+
+    /// Finite-difference gradient check on both weights and inputs.
+    fn gradient_check<F: Fn() -> Conv2d>(make: F, x_shape: &[usize]) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let x = Tensor::from_vec(
+            (0..x_shape.iter().product::<usize>()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            x_shape,
+        );
+        let mut conv = make();
+        // Loss = sum(output); dL/dout = 1.
+        let y = conv.forward(&x);
+        let ones = Tensor::full(y.shape(), 1.0);
+        let grad_in = conv.backward(&ones);
+
+        let eps = 1e-3;
+        // Check a handful of weight gradients.
+        for wi in [0usize, 1, conv.weights.len() / 2, conv.weights.len() - 1] {
+            let mut plus = make();
+            plus.weights_mut().data_mut()[wi] += eps;
+            let mut minus = make();
+            minus.weights_mut().data_mut()[wi] -= eps;
+            let numeric = (plus.forward(&x).sum() - minus.forward(&x).sum()) / (2.0 * eps);
+            let analytic = conv.grad_w.data()[wi];
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * numeric.abs().max(1.0),
+                "weight {wi}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Check a handful of input gradients.
+        for xi in [0usize, x.len() / 3, x.len() - 1] {
+            let mut xp = x.clone();
+            xp.data_mut()[xi] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[xi] -= eps;
+            let numeric = (make().forward(&xp).sum() - make().forward(&xm).sum()) / (2.0 * eps);
+            let analytic = grad_in.data()[xi];
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * numeric.abs().max(1.0),
+                "input {xi}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_step_moves_weights_against_gradient() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, 2);
+        let x = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let _ = conv.forward(&x);
+        let before = conv.weights().data().to_vec();
+        let y_shape = [1, 1, 2, 2];
+        conv.backward(&Tensor::full(&y_shape, 1.0));
+        conv.sgd_step(0.1);
+        // dL/dw = sum of inputs in each window = 4 * 1.0; w -= 0.1*4.
+        for (b, a) in before.iter().zip(conv.weights().data()) {
+            assert!((b - a - 0.4).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_panics() {
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, 0);
+        let _ = conv.backward(&Tensor::zeros(&[1, 1, 2, 2]));
+    }
+
+    #[test]
+    fn param_count() {
+        let conv = Conv2d::new(3, 8, 3, 1, 1, 0);
+        assert_eq!(conv.param_count(), 8 * 3 * 9 + 8);
+    }
+}

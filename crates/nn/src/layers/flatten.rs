@@ -1,0 +1,60 @@
+use super::Layer;
+use crate::Tensor;
+
+/// Flattens `[N, C, H, W]` into `[N, C·H·W]` — the "unrolled input vectors"
+/// feeding FC layers (Eq. 2).
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { cached_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let shape = x.shape().to_vec();
+        assert!(shape.len() >= 2, "Flatten expects at least 2 dims, got {shape:?}");
+        let n = shape[0];
+        let rest: usize = shape[1..].iter().product();
+        self.cached_shape = Some(shape);
+        x.clone().reshaped(&[n, rest])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.cached_shape.as_ref().expect("backward before forward");
+        grad_out.clone().reshaped(shape)
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 2, 2]);
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = f.backward(&y);
+        assert_eq!(g.shape(), &[2, 3, 2, 2]);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_without_forward_panics() {
+        let mut f = Flatten::new();
+        let _ = f.backward(&Tensor::zeros(&[1, 4]));
+    }
+}

@@ -1,0 +1,67 @@
+//! Neural-network layers with full forward and backward passes.
+//!
+//! Every layer caches what its backward pass needs during `forward` — the
+//! same discipline INCA exploits in hardware, where "the activations will
+//! remain in the array to be used in the backpropagation, until overwritten
+//! by errors" (§IV-C).
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod depthwise;
+mod flatten;
+mod linear;
+mod pool;
+
+pub use activation::{Relu, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm2d;
+pub use conv::Conv2d;
+pub use depthwise::DepthwiseConv2d;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, MaxPool2d};
+
+use crate::Tensor;
+
+/// A trainable network layer.
+///
+/// `forward` consumes an input batch and caches whatever the backward pass
+/// requires; `backward` consumes the gradient w.r.t. the layer output and
+/// returns the gradient w.r.t. the layer input, accumulating parameter
+/// gradients internally.
+pub trait Layer {
+    /// Runs the layer on an input batch.
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+
+    /// Propagates the output gradient; returns the input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Applies one vanilla-SGD step with learning rate `lr` and clears the
+    /// accumulated gradients. Layers without parameters do nothing.
+    fn sgd_step(&mut self, _lr: f32) {}
+
+    /// Clears accumulated gradients without updating.
+    fn zero_grads(&mut self) {}
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Applies `f` to every trainable weight (used for noise injection and
+    /// fake quantization). Layers without parameters do nothing.
+    fn map_weights(&mut self, _f: &mut dyn FnMut(f32) -> f32) {}
+
+    /// A short human-readable layer name.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared helper: validates that a tensor is 4-D NCHW and returns its dims.
+pub(crate) fn dims4_checked(x: &Tensor, layer: &str) -> [usize; 4] {
+    assert_eq!(x.shape().len(), 4, "{layer} expects an NCHW tensor, got shape {:?}", x.shape());
+    x.dims4()
+}

@@ -1,0 +1,218 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Loss, Network, NoiseInjection, QuantConfig, Sgd, SyntheticDataset};
+
+/// Training-loop configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training split.
+    pub epochs: usize,
+    /// Learning rate for vanilla SGD.
+    pub lr: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Fraction of the dataset used for training (rest is the test split).
+    pub train_fraction: f32,
+    /// Noise-injection protocol (Table VI).
+    pub noise: NoiseInjection,
+    /// Fake-quantization configuration (Table I).
+    pub quant: QuantConfig,
+    /// RNG seed for noise sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 5,
+            lr: 0.05,
+            batch_size: 16,
+            train_fraction: 0.8,
+            noise: NoiseInjection::none(),
+            quant: QuantConfig::full_precision(),
+            seed: 0,
+        }
+    }
+}
+
+/// Statistics produced by [`Trainer::fit`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainStats {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Training accuracy after the final epoch.
+    pub final_train_accuracy: f32,
+    /// Held-out test accuracy after the final epoch.
+    pub test_accuracy: f32,
+}
+
+/// Drives the training loop: forward (with optional activation noise /
+/// quantization), loss, backward, vanilla-SGD update, and — for the
+/// weight-noise protocol — a post-update programming perturbation.
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epochs` or `batch_size` is zero or `lr` is not positive.
+    #[must_use]
+    pub fn new(config: TrainConfig) -> Self {
+        assert!(config.epochs > 0, "epochs must be positive");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        assert!(config.lr > 0.0, "learning rate must be positive");
+        Self { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `net` on `dataset` and returns per-epoch losses plus final
+    /// train/test accuracies.
+    pub fn fit(&mut self, net: &mut Network, dataset: &SyntheticDataset, loss: Loss) -> TrainStats {
+        let cfg = self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let (train_idx, test_idx) = dataset.split(cfg.train_fraction);
+        let optimizer = Sgd::new(cfg.lr);
+        let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+        for _epoch in 0..cfg.epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in train_idx.chunks(cfg.batch_size) {
+                let (x, y) = dataset.batch(chunk);
+                let logits = self.forward(net, &x, &mut rng);
+                let (l, grad) = loss.evaluate(&logits, &y);
+                epoch_loss += l;
+                batches += 1;
+                let _ = net.backward(&grad);
+                optimizer.step(net);
+                // Model the imperfect RRAM programming of the just-updated
+                // weights (WS scenario).
+                cfg.noise.perturb_weights(net, &mut rng);
+            }
+            epoch_losses.push(if batches > 0 { epoch_loss / batches as f32 } else { 0.0 });
+        }
+
+        // Post-training quantization (the Table I protocol, following
+        // Banner et al.): weights snap to the grid once, after training.
+        cfg.quant.apply_to_weights(net);
+
+        let final_train_accuracy = self.evaluate(net, dataset, &train_idx, &mut rng);
+        let test_accuracy = if test_idx.is_empty() {
+            final_train_accuracy
+        } else {
+            self.evaluate(net, dataset, &test_idx, &mut rng)
+        };
+        TrainStats { epoch_losses, final_train_accuracy, test_accuracy }
+    }
+
+    /// Classification accuracy on the given sample indices, evaluated under
+    /// the same noise/quantization regime as training (the paper evaluates
+    /// the *in situ* accelerator, noise included).
+    pub fn evaluate(&mut self, net: &mut Network, dataset: &SyntheticDataset, indices: &[usize], rng: &mut StdRng) -> f32 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        for chunk in indices.chunks(self.config.batch_size) {
+            let (x, y) = dataset.batch(chunk);
+            let logits = self.forward(net, &x, rng);
+            correct += (Loss::accuracy(&logits, &y) * y.len() as f32).round() as usize;
+        }
+        correct as f32 / indices.len() as f32
+    }
+
+    fn forward(&self, net: &mut Network, x: &crate::Tensor, rng: &mut StdRng) -> crate::Tensor {
+        let noise = self.config.noise;
+        let quant = self.config.quant;
+        net.forward_with(x, &mut |_, t| {
+            let t = noise.perturb_activation(t, rng);
+            quant.apply_to_activation(t)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers;
+
+    fn small_net(seed: u64) -> Network {
+        let mut net = Network::new();
+        net.push(layers::Conv2d::new(1, 4, 3, 1, 1, seed));
+        net.push(layers::Relu::new());
+        net.push(layers::MaxPool2d::new(2, 2));
+        net.push(layers::Flatten::new());
+        net.push(layers::Linear::new(4 * 4 * 4, 4, seed + 1));
+        net
+    }
+
+    #[test]
+    fn clean_training_learns_the_task() {
+        let dataset = SyntheticDataset::generate(240, 8, 4, 11);
+        let mut net = small_net(0);
+        let mut trainer = Trainer::new(TrainConfig { epochs: 6, lr: 0.08, ..TrainConfig::default() });
+        let stats = trainer.fit(&mut net, &dataset, Loss::CrossEntropy);
+        assert!(stats.test_accuracy > 0.7, "test accuracy {}", stats.test_accuracy);
+        // Loss should broadly decrease.
+        assert!(stats.epoch_losses.last().unwrap() < stats.epoch_losses.first().unwrap());
+    }
+
+    /// Miniature Table VI: σ = 5 % weight noise collapses training while the
+    /// same noise on activations barely registers.
+    #[test]
+    fn heavy_weight_noise_hurts_more_than_activation_noise() {
+        let classes = 10;
+        let dataset = SyntheticDataset::generate(300, 10, classes, 11);
+        let deeper = |seed: u64| {
+            let mut net = Network::new();
+            net.push(layers::Conv2d::new(1, 6, 3, 1, 1, seed));
+            net.push(layers::Relu::new());
+            net.push(layers::MaxPool2d::new(2, 2));
+            net.push(layers::Flatten::new());
+            net.push(layers::Linear::new(6 * 5 * 5, classes, seed + 1));
+            net
+        };
+        let base = TrainConfig { epochs: 5, lr: 0.08, ..TrainConfig::default() };
+
+        let mut wn_net = deeper(0);
+        let mut wn = Trainer::new(TrainConfig { noise: NoiseInjection::weights(0.05), ..base });
+        let wn_stats = wn.fit(&mut wn_net, &dataset, Loss::CrossEntropy);
+
+        let mut an_net = deeper(0);
+        let mut an = Trainer::new(TrainConfig { noise: NoiseInjection::activations(0.05), ..base });
+        let an_stats = an.fit(&mut an_net, &dataset, Loss::CrossEntropy);
+
+        assert!(
+            an_stats.test_accuracy > wn_stats.test_accuracy + 0.1,
+            "activation-noise accuracy {} should clearly beat weight-noise accuracy {}",
+            an_stats.test_accuracy,
+            wn_stats.test_accuracy
+        );
+    }
+
+    #[test]
+    fn l2_loss_also_trains() {
+        let dataset = SyntheticDataset::generate(160, 8, 4, 5);
+        let mut net = small_net(3);
+        let mut trainer = Trainer::new(TrainConfig { epochs: 4, lr: 0.05, ..TrainConfig::default() });
+        let stats = trainer.fit(&mut net, &dataset, Loss::L2);
+        assert!(stats.final_train_accuracy > 0.4, "train accuracy {}", stats.final_train_accuracy);
+    }
+
+    #[test]
+    #[should_panic(expected = "epochs")]
+    fn zero_epochs_panics() {
+        let _ = Trainer::new(TrainConfig { epochs: 0, ..TrainConfig::default() });
+    }
+}

@@ -1,0 +1,23 @@
+//! Developer probe: component-level energy breakdowns and headline
+//! ratios for both architectures — used to calibrate the cost model.
+
+use inca_arch::ArchConfig;
+use inca_sim::{simulate_inference, simulate_training, format_energy_table};
+use inca_workloads::Model;
+
+fn main() {
+    for m in [Model::Vgg16, Model::ResNet18, Model::ResNet50, Model::MobileNetV2, Model::MnasNet] {
+        let spec = m.spec();
+        let wi = simulate_inference(&ArchConfig::baseline_paper(), &spec);
+        let ii = simulate_inference(&ArchConfig::inca_paper(), &spec);
+        let wt = simulate_training(&ArchConfig::baseline_paper(), &spec);
+        let it = simulate_training(&ArchConfig::inca_paper(), &spec);
+        println!("== {m}");
+        println!("{}", format_energy_table("  WS inf", &wi.energy));
+        println!("{}", format_energy_table("  IS inf", &ii.energy));
+        println!("  inf ratio E {:.1}  speedup {:.1}", wi.energy.total_j()/ii.energy.total_j(), wi.latency_s/ii.latency_s);
+        println!("  tr  ratio E {:.1}  speedup {:.1}", wt.energy.total_j()/it.energy.total_j(), wt.latency_s/it.latency_s);
+        println!("{}", format_energy_table("  WS tr", &wt.energy));
+        println!("{}", format_energy_table("  IS tr", &it.energy));
+    }
+}

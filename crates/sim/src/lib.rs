@@ -1,0 +1,56 @@
+//! End-to-end analytical energy/latency simulator for INCA and the WS
+//! baseline — the reproduction of NeuroSim+-style evaluation the paper
+//! built (§V-A).
+//!
+//! The simulator walks a workload's layer list under one of the two
+//! dataflow mappings and accounts, per layer:
+//!
+//! * **buffer traffic** (Eqs 5/6; Table III, Fig 7a) — [`access`],
+//! * **DRAM traffic** (32 pJ/byte HBM2; spills and weight streaming),
+//! * **array events** (cell reads/writes at the Table II device points),
+//! * **ADC/DAC conversions** (the Fig 13a asymmetry),
+//! * **digital post-processing** (adder trees, shift-accumulators),
+//! * **cycles** (pipelined WS execution vs batch-parallel IS execution —
+//!   the Fig 14 speedups).
+//!
+//! Entry points: [`simulate_inference`], [`simulate_training`], the
+//! [`GpuModel`] roofline (Fig 15), and [`Comparison`] which packages the
+//! INCA-vs-baseline ratios the paper reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use inca_arch::ArchConfig;
+//! use inca_sim::simulate_inference;
+//! use inca_workloads::Model;
+//!
+//! let spec = Model::ResNet18.spec();
+//! let inca = simulate_inference(&ArchConfig::inca_paper(), &spec);
+//! let base = simulate_inference(&ArchConfig::baseline_paper(), &spec);
+//! assert!(inca.energy_per_image_j() < base.energy_per_image_j());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+mod comparison;
+mod energy;
+mod gpu;
+mod phases;
+mod inference;
+mod lifetime;
+mod report;
+pub mod schedule;
+mod sweep;
+mod training;
+
+pub use comparison::{Comparison, ComparisonReport};
+pub use energy::EnergyBreakdown;
+pub use gpu::GpuModel;
+pub use phases::{training_phases, TrainingPhases};
+pub use lifetime::{training_lifetime, TrainingLifetime, IMAGENET_TRAIN_IMAGES};
+pub use inference::{is_layer_cycles, simulate_feedforward, simulate_inference, ws_layer_cycles, CostModel, LayerStats, NetworkStats, Phase};
+pub use report::{format_energy_table, format_ratio_table};
+pub use sweep::{paper_sweep, sweep_models, SweepPoint};
+pub use training::{simulate_training, training_breakdown};

@@ -1,0 +1,80 @@
+//! Plain-text table formatting for the experiment harness.
+
+use crate::{ComparisonReport, EnergyBreakdown};
+
+/// Formats an energy breakdown as a one-line component table (percentages
+/// of total) — the textual equivalent of the Fig 6/13b pies.
+#[must_use]
+pub fn format_energy_table(label: &str, e: &EnergyBreakdown) -> String {
+    let f = e.fractions();
+    format!(
+        "{label:<24} total {:>10.4e} J | DRAM {:>5.1}% buffer {:>5.1}% ADC {:>5.1}% DAC {:>5.1}% array {:>5.1}% digital {:>5.1}% static {:>5.1}%",
+        e.total_j(),
+        f[0] * 100.0,
+        f[1] * 100.0,
+        f[2] * 100.0,
+        f[3] * 100.0,
+        f[4] * 100.0,
+        f[5] * 100.0,
+        f[6] * 100.0,
+    )
+}
+
+/// Formats a set of comparison reports as the Fig 11/14 ratio table.
+#[must_use]
+pub fn format_ratio_table(reports: &[ComparisonReport]) -> String {
+    let mut out = String::from(
+        "model          | inf energy x | tr energy x | inf speedup x | tr speedup x\n\
+         ---------------+--------------+-------------+---------------+-------------\n",
+    );
+    for r in reports {
+        out.push_str(&format!(
+            "{:<14} | {:>12.1} | {:>11.1} | {:>13.1} | {:>12.1}\n",
+            r.model.name(),
+            r.inference_energy_ratio,
+            r.training_energy_ratio,
+            r.inference_speedup,
+            r.training_speedup,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_workloads::Model;
+
+    #[test]
+    fn energy_table_contains_label_and_components() {
+        let e = EnergyBreakdown {
+            dram_j: 1.0,
+            buffer_j: 1.0,
+            adc_j: 1.0,
+            dac_j: 0.0,
+            array_j: 1.0,
+            digital_j: 0.0,
+            static_j: 0.0,
+        };
+        let s = format_energy_table("test", &e);
+        assert!(s.contains("test"));
+        assert!(s.contains("DRAM  25.0%"));
+    }
+
+    #[test]
+    fn ratio_table_has_one_row_per_report() {
+        let r = ComparisonReport {
+            model: Model::Vgg16,
+            inference_energy_ratio: 20.6,
+            training_energy_ratio: 260.0,
+            inference_speedup: 4.6,
+            training_speedup: 18.6,
+            gpu_energy_ratio: 10.0,
+            gpu_throughput_per_area_ratio: 5.0,
+        };
+        let t = format_ratio_table(&[r]);
+        assert_eq!(t.lines().count(), 3);
+        assert!(t.contains("VGG16"));
+        assert!(t.contains("20.6"));
+    }
+}

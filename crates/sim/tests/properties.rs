@@ -1,0 +1,122 @@
+//! Property-based tests on simulator invariants: the analytical model must
+//! respond monotonically and proportionally to its physical knobs.
+
+use inca_arch::ArchConfig;
+use inca_sim::access::{baseline_total, inca_total, AccessConfig};
+use inca_sim::{simulate_inference, simulate_training};
+use inca_workloads::Model;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Access counts are monotone nonincreasing in bus width for both
+    /// dataflows.
+    #[test]
+    fn accesses_monotone_in_bus(width_pow in 5u32..11) {
+        let spec = Model::ResNet18.spec();
+        let narrow = AccessConfig { data_bits: 8, bus_bits: 1 << width_pow, include_fc: false };
+        let wide = AccessConfig { data_bits: 8, bus_bits: 1 << (width_pow + 1), include_fc: false };
+        prop_assert!(baseline_total(&spec, &wide) <= baseline_total(&spec, &narrow));
+        prop_assert!(inca_total(&spec, &wide) <= inca_total(&spec, &narrow));
+    }
+
+    /// Higher precision never reduces access counts.
+    #[test]
+    fn accesses_monotone_in_precision(bits in 1u32..16) {
+        let spec = Model::ResNet18.spec();
+        let lo = AccessConfig { data_bits: bits, bus_bits: 256, include_fc: false };
+        let hi = AccessConfig { data_bits: bits + 1, bus_bits: 256, include_fc: false };
+        prop_assert!(inca_total(&spec, &hi) >= inca_total(&spec, &lo));
+    }
+
+    /// Including FC layers never reduces totals.
+    #[test]
+    fn fc_inclusion_monotone(bits in 4u32..16) {
+        let spec = Model::Vgg16.spec();
+        let without = AccessConfig { data_bits: bits, bus_bits: 256, include_fc: false };
+        let with = AccessConfig { data_bits: bits, bus_bits: 256, include_fc: true };
+        prop_assert!(inca_total(&spec, &with) > inca_total(&spec, &without));
+    }
+}
+
+/// Inference energy of both architectures scales (roughly linearly) with
+/// batch size: doubling the batch must not more-than-double the energy and
+/// must increase it.
+#[test]
+fn energy_scales_with_batch() {
+    let spec = Model::ResNet18.spec();
+    for make in [ArchConfig::inca_paper, ArchConfig::baseline_paper] {
+        let mut small = make();
+        small.batch_size = 16;
+        if small.stacked_planes > 1 {
+            small.stacked_planes = 16;
+        }
+        let mut big = make();
+        big.batch_size = 32;
+        if big.stacked_planes > 1 {
+            big.stacked_planes = 32;
+        }
+        let e_small = simulate_inference(&small, &spec).energy.total_j();
+        let e_big = simulate_inference(&big, &spec).energy.total_j();
+        assert!(e_big > e_small, "{:?}", small.dataflow);
+        assert!(e_big < 2.5 * e_small, "{:?}: {e_big} vs {e_small}", small.dataflow);
+    }
+}
+
+/// Training always costs strictly more than inference (energy and time)
+/// on every model, both architectures.
+#[test]
+fn training_dominates_inference_everywhere() {
+    for model in Model::paper_suite() {
+        let spec = model.spec();
+        for cfg in [ArchConfig::inca_paper(), ArchConfig::baseline_paper()] {
+            let inf = simulate_inference(&cfg, &spec);
+            let tr = simulate_training(&cfg, &spec);
+            assert!(tr.energy.total_j() > inf.energy.total_j(), "{model} {:?}", cfg.dataflow);
+            assert!(tr.latency_s > inf.latency_s, "{model} {:?}", cfg.dataflow);
+        }
+    }
+}
+
+/// Energy components are all nonnegative and finite for every model and
+/// both architectures — no accounting bug may produce negative or NaN
+/// energy.
+#[test]
+fn energies_nonnegative_and_finite() {
+    for model in Model::paper_suite() {
+        let spec = model.spec();
+        for cfg in [ArchConfig::inca_paper(), ArchConfig::baseline_paper()] {
+            for stats in [simulate_inference(&cfg, &spec), simulate_training(&cfg, &spec)] {
+                let e = stats.energy;
+                for (name, v) in [
+                    ("dram", e.dram_j),
+                    ("buffer", e.buffer_j),
+                    ("adc", e.adc_j),
+                    ("dac", e.dac_j),
+                    ("array", e.array_j),
+                    ("digital", e.digital_j),
+                    ("static", e.static_j),
+                ] {
+                    assert!(v.is_finite() && v >= 0.0, "{model} {:?} {name}: {v}", cfg.dataflow);
+                }
+                assert!(stats.latency_s.is_finite() && stats.latency_s > 0.0);
+            }
+        }
+    }
+}
+
+/// A faster (lower-precision) ADC strictly reduces INCA inference latency
+/// or keeps it equal — never increases it.
+#[test]
+fn adc_precision_latency_monotone() {
+    let spec = Model::ResNet18.spec();
+    let mut prev = 0.0f64;
+    for bits in [2u8, 4, 6, 8] {
+        let mut cfg = ArchConfig::inca_paper();
+        cfg.adc = inca_circuit::AdcSpec::new(bits).unwrap();
+        let lat = simulate_inference(&cfg, &spec).latency_s;
+        assert!(lat >= prev, "latency not monotone at {bits} bits");
+        prev = lat;
+    }
+}

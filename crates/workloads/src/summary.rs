@@ -1,0 +1,122 @@
+//! Human-readable model summaries (torchvision `summary()`-style tables).
+
+use std::fmt::Write as _;
+
+use crate::{LayerKind, ModelSpec, PoolKind};
+
+/// One row of a model summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryRow {
+    /// Layer index.
+    pub index: usize,
+    /// Operation name (e.g. `"conv3x3"`, `"dw-conv3x3"`, `"fc"`).
+    pub op: String,
+    /// Output shape `(C, H, W)`.
+    pub output: (usize, usize, usize),
+    /// Parameter count.
+    pub params: u64,
+    /// MAC count.
+    pub macs: u64,
+}
+
+/// Builds the per-layer summary rows of a model.
+#[must_use]
+pub fn summarize(spec: &ModelSpec) -> Vec<SummaryRow> {
+    spec.layers()
+        .iter()
+        .enumerate()
+        .map(|(index, l)| {
+            let op = match l.kind {
+                LayerKind::Conv { k, groups, .. } if groups == l.cin && l.cin > 1 => {
+                    format!("dw-conv{k}x{k}")
+                }
+                LayerKind::Conv { k: 1, .. } => "pw-conv1x1".to_string(),
+                LayerKind::Conv { k, stride, .. } if stride > 1 => format!("conv{k}x{k}/{stride}"),
+                LayerKind::Conv { k, .. } => format!("conv{k}x{k}"),
+                LayerKind::Linear { .. } => "fc".to_string(),
+                LayerKind::BatchNorm => "bn".to_string(),
+                LayerKind::Activation => "act".to_string(),
+                LayerKind::Pool { kind: PoolKind::Max, k, .. } => format!("maxpool{k}"),
+                LayerKind::Pool { kind: PoolKind::Avg, k, .. } => format!("avgpool{k}"),
+                LayerKind::GlobalAvgPool => "gap".to_string(),
+                LayerKind::ResidualAdd => "add".to_string(),
+            };
+            SummaryRow {
+                index,
+                op,
+                output: (l.cout, l.oh, l.ow),
+                params: l.param_count(),
+                macs: l.macs(),
+            }
+        })
+        .collect()
+}
+
+/// Formats the summary as an aligned text table with totals.
+#[must_use]
+pub fn format_summary(spec: &ModelSpec) -> String {
+    let rows = summarize(spec);
+    let mut out = format!(
+        "{} — {} layers, {:.2} M params, {:.2} G MACs\n{:<5} {:<14} {:<16} {:>12} {:>14}\n",
+        spec.model.name(),
+        rows.len(),
+        spec.param_count() as f64 / 1e6,
+        spec.total_macs() as f64 / 1e9,
+        "#",
+        "op",
+        "output",
+        "params",
+        "MACs",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<5} {:<14} {:<16} {:>12} {:>14}",
+            r.index,
+            r.op,
+            format!("{}x{}x{}", r.output.0, r.output.1, r.output.2),
+            r.params,
+            r.macs,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Model;
+
+    #[test]
+    fn rows_cover_every_layer() {
+        let spec = Model::ResNet18.spec();
+        assert_eq!(summarize(&spec).len(), spec.layers().len());
+    }
+
+    #[test]
+    fn totals_match_spec() {
+        let spec = Model::Vgg16.spec();
+        let rows = summarize(&spec);
+        let params: u64 = rows.iter().map(|r| r.params).sum();
+        let macs: u64 = rows.iter().map(|r| r.macs).sum();
+        assert_eq!(params, spec.param_count());
+        assert_eq!(macs, spec.total_macs());
+    }
+
+    #[test]
+    fn op_names_distinguish_light_convs() {
+        let spec = Model::MobileNetV2.spec();
+        let rows = summarize(&spec);
+        assert!(rows.iter().any(|r| r.op == "dw-conv3x3"));
+        assert!(rows.iter().any(|r| r.op == "pw-conv1x1"));
+    }
+
+    #[test]
+    fn formatted_table_has_header_and_rows() {
+        let spec = Model::ResNet18.spec();
+        let text = format_summary(&spec);
+        assert!(text.starts_with("ResNet18"));
+        assert!(text.lines().count() > spec.layers().len());
+        assert!(text.contains("conv7x7/2"));
+    }
+}

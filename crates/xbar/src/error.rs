@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Errors produced by the crossbar models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XbarError {
+    /// Supplied data does not match the array dimensions.
+    ShapeMismatch {
+        /// What was expected (free-form, e.g. "16x16 = 256 elements").
+        expected: String,
+        /// What was provided.
+        got: usize,
+    },
+    /// A selection window extends past the array bounds.
+    WindowOutOfBounds {
+        /// Window top-left row.
+        row: usize,
+        /// Window top-left column.
+        col: usize,
+        /// Window height.
+        kh: usize,
+        /// Window width.
+        kw: usize,
+        /// Array rows.
+        rows: usize,
+        /// Array columns.
+        cols: usize,
+    },
+    /// A plane index beyond the stack depth was addressed.
+    PlaneOutOfBounds {
+        /// Requested plane.
+        plane: usize,
+        /// Number of planes.
+        planes: usize,
+    },
+    /// A value does not fit the cell precision.
+    ValueOutOfRange {
+        /// The offending value.
+        value: i64,
+        /// The allowed bit precision.
+        bits: u8,
+    },
+}
+
+impl fmt::Display for XbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XbarError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got} elements")
+            }
+            XbarError::WindowOutOfBounds { row, col, kh, kw, rows, cols } => write!(
+                f,
+                "window {kh}x{kw} at ({row}, {col}) exceeds array bounds {rows}x{cols}"
+            ),
+            XbarError::PlaneOutOfBounds { plane, planes } => {
+                write!(f, "plane {plane} out of bounds for a stack of {planes} planes")
+            }
+            XbarError::ValueOutOfRange { value, bits } => {
+                write!(f, "value {value} does not fit in {bits} bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for XbarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_coordinates() {
+        let e = XbarError::WindowOutOfBounds { row: 15, col: 15, kh: 3, kw: 3, rows: 16, cols: 16 };
+        let s = e.to_string();
+        assert!(s.contains("(15, 15)") && s.contains("16x16"));
+    }
+}

@@ -1,0 +1,376 @@
+use inca_device::{DeviceParams, NoiseModel};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, XbarError};
+
+/// One 2T1R vertical plane of the INCA architecture (§IV-A, Fig 8).
+///
+/// The plane stores one bit-plane of an input/activation partition. Its two
+/// distinguishing hardware features, both modelled here:
+///
+/// * **Per-cell voltage supply** — every cell has its own pillar, so during
+///   a read the kernel value for the cell's position in the window is
+///   applied directly ("all written inputs and applied weights are given as
+///   their original shape").
+/// * **Two perpendicular select lines** — a rectangular window
+///   `[row, row+kh) × [col, col+kw)` is activated by turning on `kh`
+///   horizontal and `kw` vertical transistor lines; cells outside the
+///   window have at least one transistor off and contribute nothing.
+///
+/// All columns are tied at the bottom, so one read cycle produces the full
+/// window accumulation `Σ w(i,j) · x(row+i, col+j)` — a direct convolution
+/// without unrolling.
+///
+/// Cells are 1-bit (Table II); multi-bit activations use one plane per bit
+/// plus a shift-accumulator (see [`crate::quant`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerticalPlane {
+    rows: usize,
+    cols: usize,
+    /// Stored bit per cell (normalized conductance 0 or 1).
+    cells: Vec<u8>,
+    /// Cumulative write pulses (endurance accounting).
+    writes: u64,
+    /// Cumulative read (convolution) operations.
+    reads: u64,
+}
+
+impl VerticalPlane {
+    /// Creates an all-off plane of `rows × cols` cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "plane dimensions must be positive");
+        Self { rows, cols, cells: vec![0; rows * cols], writes: 0, reads: 0 }
+    }
+
+    /// The paper's 16×16 subarray (Table II).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(16, 16)
+    }
+
+    /// Plane height in cells.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Plane width in cells.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total write pulses issued to this plane.
+    #[must_use]
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total convolution reads issued.
+    #[must_use]
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes a full bit image (row-major, values 0/1) in a single write
+    /// cycle — the one-shot write scheme of Fig 8c (all transistors on,
+    /// bottom plane grounded).
+    ///
+    /// # Errors
+    ///
+    /// * [`XbarError::ShapeMismatch`] if `bits.len() != rows·cols`.
+    /// * [`XbarError::ValueOutOfRange`] if any value is not 0 or 1.
+    pub fn write_bits(&mut self, bits: &[u8]) -> Result<()> {
+        if bits.len() != self.cells.len() {
+            return Err(XbarError::ShapeMismatch {
+                expected: format!("{}x{} = {} elements", self.rows, self.cols, self.cells.len()),
+                got: bits.len(),
+            });
+        }
+        if let Some(&bad) = bits.iter().find(|&&b| b > 1) {
+            return Err(XbarError::ValueOutOfRange { value: i64::from(bad), bits: 1 });
+        }
+        self.cells.copy_from_slice(bits);
+        // One write pulse programs the whole plane simultaneously, but every
+        // cell receives a pulse — endurance counts per-cell wear.
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Writes a partial region `[row, row+h) × [col, col+w)` — used when a
+    /// feature-map partition is smaller than the plane, or when errors
+    /// overwrite activations during backpropagation (§IV-C "Backward").
+    ///
+    /// # Errors
+    ///
+    /// * [`XbarError::WindowOutOfBounds`] if the region does not fit.
+    /// * [`XbarError::ShapeMismatch`] if `bits.len() != h·w`.
+    pub fn write_region(&mut self, row: usize, col: usize, h: usize, w: usize, bits: &[u8]) -> Result<()> {
+        self.check_window(row, col, h, w)?;
+        if bits.len() != h * w {
+            return Err(XbarError::ShapeMismatch { expected: format!("{h}x{w} = {} elements", h * w), got: bits.len() });
+        }
+        for i in 0..h {
+            for j in 0..w {
+                self.cells[(row + i) * self.cols + col + j] = bits[i * w + j] & 1;
+            }
+        }
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Reads back the stored bit at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of bounds.
+    #[must_use]
+    pub fn bit(&self, row: usize, col: usize) -> u8 {
+        self.cells[row * self.cols + col]
+    }
+
+    /// Performs one direct-convolution read: activates the window
+    /// `[row, row+kh) × [col, col+kw)`, applies the kernel bit-plane
+    /// (row-major, values 0/1) to the pillars, and returns the one-shot
+    /// accumulated count `Σ w·x`.
+    ///
+    /// # Errors
+    ///
+    /// * [`XbarError::WindowOutOfBounds`] if the window does not fit.
+    /// * [`XbarError::ShapeMismatch`] if `kernel.len() != kh·kw`.
+    pub fn direct_conv_window(&self, row: usize, col: usize, kh: usize, kw: usize, kernel: &[u8]) -> Result<u32> {
+        self.check_window(row, col, kh, kw)?;
+        if kernel.len() != kh * kw {
+            return Err(XbarError::ShapeMismatch {
+                expected: format!("{kh}x{kw} = {} elements", kh * kw),
+                got: kernel.len(),
+            });
+        }
+        let mut acc = 0u32;
+        for i in 0..kh {
+            for j in 0..kw {
+                let x = self.cells[(row + i) * self.cols + col + j];
+                let w = kernel[i * kw + j] & 1;
+                acc += u32::from(x & w);
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Like [`VerticalPlane::direct_conv_window`] but also counts the read
+    /// for endurance/energy accounting.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VerticalPlane::direct_conv_window`].
+    pub fn direct_conv_window_mut(
+        &mut self,
+        row: usize,
+        col: usize,
+        kh: usize,
+        kw: usize,
+        kernel: &[u8],
+    ) -> Result<u32> {
+        let out = self.direct_conv_window(row, col, kh, kw, kernel)?;
+        self.reads += 1;
+        Ok(out)
+    }
+
+    /// The *analog* current accumulated for a window read, including the
+    /// off-cell pedestal and optional device noise — used to validate that
+    /// digitization thresholds are robust.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VerticalPlane::direct_conv_window`].
+    #[allow(clippy::too_many_arguments)] // the full physical read: window + device + noise
+    pub fn analog_conv_current<R: Rng + ?Sized>(
+        &self,
+        row: usize,
+        col: usize,
+        kh: usize,
+        kw: usize,
+        kernel: &[u8],
+        params: &DeviceParams,
+        noise: &NoiseModel,
+        rng: &mut R,
+    ) -> Result<f64> {
+        self.check_window(row, col, kh, kw)?;
+        if kernel.len() != kh * kw {
+            return Err(XbarError::ShapeMismatch {
+                expected: format!("{kh}x{kw} = {} elements", kh * kw),
+                got: kernel.len(),
+            });
+        }
+        let mut current = 0.0;
+        for i in 0..kh {
+            for j in 0..kw {
+                let w = kernel[i * kw + j] & 1;
+                if w == 0 {
+                    continue; // pillar not driven
+                }
+                let x = self.cells[(row + i) * self.cols + col + j];
+                let g = if x == 1 { params.g_on() } else { params.g_off() };
+                let g = noise.apply(g, rng).max(0.0);
+                current += params.read_voltage * g;
+            }
+        }
+        Ok(current)
+    }
+
+    /// Number of cells whose stored bit is 1.
+    #[must_use]
+    pub fn popcount(&self) -> usize {
+        self.cells.iter().filter(|&&b| b == 1).count()
+    }
+
+    fn check_window(&self, row: usize, col: usize, kh: usize, kw: usize) -> Result<()> {
+        if kh == 0 || kw == 0 || row + kh > self.rows || col + kw > self.cols {
+            return Err(XbarError::WindowOutOfBounds {
+                row,
+                col,
+                kh,
+                kw,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn plane_with(bits: &[u8], rows: usize, cols: usize) -> VerticalPlane {
+        let mut p = VerticalPlane::new(rows, cols);
+        p.write_bits(bits).unwrap();
+        p
+    }
+
+    #[test]
+    fn write_then_read_bits() {
+        let p = plane_with(&[1, 0, 0, 1], 2, 2);
+        assert_eq!(p.bit(0, 0), 1);
+        assert_eq!(p.bit(0, 1), 0);
+        assert_eq!(p.bit(1, 1), 1);
+        assert_eq!(p.popcount(), 2);
+    }
+
+    #[test]
+    fn direct_conv_matches_reference() {
+        // 3x3 image, 2x2 kernel, all four windows.
+        let img = [1, 1, 0, 0, 1, 1, 1, 0, 1];
+        let p = plane_with(&img, 3, 3);
+        let k = [1, 0, 1, 1];
+        let reference = |r: usize, c: usize| -> u32 {
+            let mut s = 0;
+            for i in 0..2 {
+                for j in 0..2 {
+                    s += u32::from(img[(r + i) * 3 + c + j] * k[i * 2 + j]);
+                }
+            }
+            s
+        };
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(p.direct_conv_window(r, c, 2, 2, &k).unwrap(), reference(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn window_out_of_bounds_rejected() {
+        let p = plane_with(&[0; 16], 4, 4);
+        let err = p.direct_conv_window(3, 3, 2, 2, &[1, 1, 1, 1]).unwrap_err();
+        assert!(matches!(err, XbarError::WindowOutOfBounds { .. }));
+        assert!(p.direct_conv_window(0, 0, 0, 1, &[]).is_err());
+    }
+
+    #[test]
+    fn kernel_shape_mismatch_rejected() {
+        let p = plane_with(&[0; 16], 4, 4);
+        assert!(matches!(
+            p.direct_conv_window(0, 0, 2, 2, &[1, 1, 1]),
+            Err(XbarError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn write_validates_shape_and_values() {
+        let mut p = VerticalPlane::new(2, 2);
+        assert!(p.write_bits(&[1, 0, 1]).is_err());
+        assert!(matches!(p.write_bits(&[1, 0, 2, 0]), Err(XbarError::ValueOutOfRange { value: 2, bits: 1 })));
+    }
+
+    #[test]
+    fn region_write_overwrites_only_region() {
+        let mut p = plane_with(&[1; 16], 4, 4);
+        p.write_region(1, 1, 2, 2, &[0, 0, 0, 0]).unwrap();
+        assert_eq!(p.popcount(), 12);
+        assert_eq!(p.bit(1, 1), 0);
+        assert_eq!(p.bit(0, 0), 1);
+    }
+
+    #[test]
+    fn region_write_bounds_checked() {
+        let mut p = VerticalPlane::new(4, 4);
+        assert!(p.write_region(3, 3, 2, 2, &[0; 4]).is_err());
+    }
+
+    #[test]
+    fn write_and_read_counters() {
+        let mut p = VerticalPlane::new(2, 2);
+        p.write_bits(&[1, 0, 0, 1]).unwrap();
+        p.write_region(0, 0, 1, 1, &[0]).unwrap();
+        let _ = p.direct_conv_window_mut(0, 0, 2, 2, &[1, 1, 1, 1]).unwrap();
+        assert_eq!(p.write_count(), 2);
+        assert_eq!(p.read_count(), 1);
+    }
+
+    #[test]
+    fn analog_current_separates_codes_without_noise() {
+        let params = DeviceParams::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let p = plane_with(&[1, 1, 1, 0, 0, 0, 0, 0, 0], 3, 3);
+        let k = [1u8; 9];
+        let i = p
+            .analog_conv_current(0, 0, 3, 3, &k, &params, &NoiseModel::none(), &mut rng)
+            .unwrap();
+        // 3 on-cells + 6 off-cells.
+        let expected = 3.0 * params.read_voltage * params.g_on() + 6.0 * params.read_voltage * params.g_off();
+        assert!((i - expected).abs() / expected < 1e-12);
+    }
+
+    #[test]
+    fn analog_current_with_noise_still_classifies_count() {
+        let params = DeviceParams::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let noise = NoiseModel::relative(0.05);
+        let p3 = plane_with(&[1, 1, 1, 0, 0, 0, 0, 0, 0], 3, 3);
+        let p4 = plane_with(&[1, 1, 1, 1, 0, 0, 0, 0, 0], 3, 3);
+        let k = [1u8; 9];
+        let unit = params.read_voltage * params.g_on();
+        for _ in 0..50 {
+            let i3 = p3.analog_conv_current(0, 0, 3, 3, &k, &params, &noise, &mut rng).unwrap();
+            let i4 = p4.analog_conv_current(0, 0, 3, 3, &k, &params, &noise, &mut rng).unwrap();
+            // Rounding to the nearest on-current multiple recovers the count.
+            assert_eq!((i3 / unit).round() as u32, 3);
+            assert_eq!((i4 / unit).round() as u32, 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_panics() {
+        let _ = VerticalPlane::new(0, 16);
+    }
+}

@@ -1,0 +1,162 @@
+//! Fixed-point bit-plane helpers for bit-serial PIM computation.
+//!
+//! Both architectures store 1-bit cells and recombine multi-bit values
+//! digitally (§IV-C): an 8-bit activation occupies 8 bit-planes, the weight
+//! is streamed bit-serially, and partial sums are merged with a
+//! shift-accumulator. These helpers implement the exact integer
+//! decomposition/recomposition so functional tests can prove the analog
+//! pipeline computes true integer convolutions.
+
+/// Splits an unsigned value into `bits` LSB-first bit planes.
+///
+/// # Examples
+///
+/// ```
+/// use inca_xbar::quant::to_bit_planes;
+///
+/// assert_eq!(to_bit_planes(13, 4), vec![1, 0, 1, 1]);
+/// ```
+#[must_use]
+pub fn to_bit_planes(value: u32, bits: u8) -> Vec<u8> {
+    (0..bits).map(|b| ((value >> b) & 1) as u8).collect()
+}
+
+/// Reassembles LSB-first bit planes into the value: `Σ plane[i] << i`.
+///
+/// # Examples
+///
+/// ```
+/// use inca_xbar::quant::{from_bit_planes, to_bit_planes};
+///
+/// let planes = to_bit_planes(200, 8);
+/// assert_eq!(from_bit_planes(&planes.iter().map(|&b| u64::from(b)).collect::<Vec<_>>()), 200);
+/// ```
+#[must_use]
+pub fn from_bit_planes(planes_lsb_first: &[u64]) -> u64 {
+    planes_lsb_first.iter().enumerate().map(|(i, &p)| p << i).sum()
+}
+
+/// Splits a slice of unsigned values into `bits` bit-plane slices:
+/// `result[b][i]` is bit `b` of `values[i]`.
+#[must_use]
+pub fn slice_to_bit_planes(values: &[u32], bits: u8) -> Vec<Vec<u8>> {
+    (0..bits).map(|b| values.iter().map(|&v| ((v >> b) & 1) as u8).collect()).collect()
+}
+
+/// Uniformly quantizes `x ∈ [lo, hi]` to an unsigned `bits`-bit code.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or `bits` is 0 or above 31.
+#[must_use]
+pub fn quantize(x: f32, lo: f32, hi: f32, bits: u8) -> u32 {
+    assert!(lo < hi, "lo must be below hi");
+    assert!((1..=31).contains(&bits), "bits must be 1..=31");
+    let levels = (1u32 << bits) - 1;
+    let t = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+    (t * levels as f32).round() as u32
+}
+
+/// Inverse of [`quantize`]: maps a code back to the value-range midpoint.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi` or `bits` is 0 or above 31.
+#[must_use]
+pub fn dequantize(code: u32, lo: f32, hi: f32, bits: u8) -> f32 {
+    assert!(lo < hi, "lo must be below hi");
+    assert!((1..=31).contains(&bits), "bits must be 1..=31");
+    let levels = (1u32 << bits) - 1;
+    lo + (hi - lo) * (code.min(levels) as f32) / levels as f32
+}
+
+/// Computes the integer dot product of two unsigned vectors via the full
+/// bit-serial pipeline: input bit-planes × weight bit-planes, recombined by
+/// double shift-accumulation. This is exactly what the PIM hardware
+/// evaluates; it must equal the direct integer dot product.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn bit_serial_dot(xs: &[u32], ws: &[u32], x_bits: u8, w_bits: u8) -> u64 {
+    assert_eq!(xs.len(), ws.len(), "operand lengths must match");
+    let x_planes = slice_to_bit_planes(xs, x_bits);
+    let w_planes = slice_to_bit_planes(ws, w_bits);
+    let mut total = 0u64;
+    for (wb, wp) in w_planes.iter().enumerate() {
+        for (xb, xp) in x_planes.iter().enumerate() {
+            let partial: u64 = xp.iter().zip(wp).map(|(&x, &w)| u64::from(x & w)).sum();
+            total += partial << (wb + xb);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_plane_roundtrip() {
+        for v in [0u32, 1, 13, 127, 200, 255] {
+            let planes = to_bit_planes(v, 8);
+            let back = from_bit_planes(&planes.iter().map(|&b| u64::from(b)).collect::<Vec<_>>());
+            assert_eq!(back, u64::from(v));
+        }
+    }
+
+    #[test]
+    fn slice_planes_layout() {
+        let planes = slice_to_bit_planes(&[1, 2, 3], 2);
+        assert_eq!(planes[0], vec![1, 0, 1]); // LSBs
+        assert_eq!(planes[1], vec![0, 1, 1]); // MSBs
+    }
+
+    #[test]
+    fn quantize_endpoints_and_midpoint() {
+        assert_eq!(quantize(-1.0, -1.0, 1.0, 8), 0);
+        assert_eq!(quantize(1.0, -1.0, 1.0, 8), 255);
+        assert_eq!(quantize(0.0, -1.0, 1.0, 8), 128);
+        assert_eq!(quantize(5.0, -1.0, 1.0, 8), 255); // clamps
+    }
+
+    #[test]
+    fn dequantize_inverts_quantize_within_half_step() {
+        let (lo, hi, bits) = (-2.0f32, 2.0, 6);
+        let step = (hi - lo) / ((1u32 << bits) - 1) as f32;
+        for i in 0..100 {
+            let x = lo + (hi - lo) * (i as f32) / 99.0;
+            let back = dequantize(quantize(x, lo, hi, bits), lo, hi, bits);
+            assert!((back - x).abs() <= step / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn bit_serial_dot_equals_integer_dot() {
+        let xs = [200u32, 13, 0, 255, 7];
+        let ws = [3u32, 255, 9, 1, 128];
+        let expected: u64 = xs.iter().zip(&ws).map(|(&x, &w)| u64::from(x) * u64::from(w)).sum();
+        assert_eq!(bit_serial_dot(&xs, &ws, 8, 8), expected);
+    }
+
+    #[test]
+    fn bit_serial_dot_mixed_precision() {
+        let xs = [5u32, 2, 7];
+        let ws = [3u32, 1, 2];
+        let expected: u64 = xs.iter().zip(&ws).map(|(&x, &w)| u64::from(x) * u64::from(w)).sum();
+        assert_eq!(bit_serial_dot(&xs, &ws, 3, 2), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths")]
+    fn mismatched_lengths_panic() {
+        let _ = bit_serial_dot(&[1], &[1, 2], 8, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn zero_bits_panics() {
+        let _ = quantize(0.0, -1.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,110 @@
+use inca_device::{CellStructure, DeviceParams};
+use serde::{Deserialize, Serialize};
+
+/// Worst-case sneak-path analysis of an array read.
+///
+/// In a transistor-less 1R array, unselected cells form parasitic series
+/// paths between driven and sensed lines; the classic worst case reads one
+/// selected cell while all `(n-1)` + `(n-1)(n-1)`-cell sneak networks are in
+/// the low-resistance state (§II-A, §IV-A). Transistor-gated structures
+/// (1T1R, 2T1R) cut those paths entirely — the justification for INCA's
+/// "transistors, which could play the role of a switch".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SneakPathEstimate {
+    /// Signal current through the selected cell, amperes.
+    pub signal_a: f64,
+    /// Aggregate worst-case sneak current, amperes.
+    pub sneak_a: f64,
+    /// `sneak / signal`; above ~0.1 the read margin is generally considered
+    /// lost.
+    pub sneak_ratio: f64,
+}
+
+impl SneakPathEstimate {
+    /// Whether the read margin survives (sneak below 10 % of signal).
+    #[must_use]
+    pub fn read_margin_ok(&self) -> bool {
+        self.sneak_ratio < 0.1
+    }
+}
+
+/// Estimates worst-case sneak current for reading one cell of an `n × n`
+/// array built from `structure` cells.
+///
+/// The 1R worst case uses the standard three-resistor lumped model: the
+/// sneak network is `(n-1)` parallel paths of three on-state cells in
+/// series, so `R_sneak = 3·R_on / (n-1)`. Gated structures contribute only
+/// transistor leakage, modelled as the off-cell current per unselected cell
+/// (`I_off = off_cell_power / V_read` per device).
+///
+/// # Examples
+///
+/// ```
+/// use inca_device::{CellStructure, DeviceParams};
+/// use inca_xbar::sneak_path_current;
+///
+/// let p = DeviceParams::default();
+/// let one_r = sneak_path_current(128, CellStructure::OneR, &p);
+/// let gated = sneak_path_current(128, CellStructure::TwoT1R, &p);
+/// assert!(!one_r.read_margin_ok());
+/// assert!(gated.read_margin_ok());
+/// ```
+#[must_use]
+pub fn sneak_path_current(n: usize, structure: CellStructure, params: &DeviceParams) -> SneakPathEstimate {
+    let signal_a = params.read_voltage / params.r_on_ohm;
+    let sneak_a = match structure {
+        CellStructure::OneR => {
+            if n <= 1 {
+                0.0
+            } else {
+                let r_sneak = 3.0 * params.r_on_ohm / (n - 1) as f64;
+                params.read_voltage / r_sneak
+            }
+        }
+        CellStructure::OneT1R | CellStructure::TwoT1R => {
+            // Only subthreshold leakage of unselected (gated-off) cells on the
+            // shared sense line.
+            let leak_per_cell = params.off_cell_power_w / params.read_voltage * 1e-3;
+            (n.saturating_sub(1)) as f64 * leak_per_cell
+        }
+    };
+    SneakPathEstimate { signal_a, sneak_a, sneak_ratio: if signal_a > 0.0 { sneak_a / signal_a } else { f64::INFINITY } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_r_margin_collapses_with_size() {
+        let p = DeviceParams::default();
+        let small = sneak_path_current(4, CellStructure::OneR, &p);
+        let large = sneak_path_current(128, CellStructure::OneR, &p);
+        assert!(large.sneak_ratio > small.sneak_ratio);
+        assert!(!large.read_margin_ok());
+    }
+
+    #[test]
+    fn gated_structures_keep_margin_even_at_128() {
+        let p = DeviceParams::default();
+        for s in [CellStructure::OneT1R, CellStructure::TwoT1R] {
+            let e = sneak_path_current(128, s, &p);
+            assert!(e.read_margin_ok(), "structure {s:?} ratio {}", e.sneak_ratio);
+        }
+    }
+
+    #[test]
+    fn single_cell_array_has_no_sneak() {
+        let p = DeviceParams::default();
+        let e = sneak_path_current(1, CellStructure::OneR, &p);
+        assert_eq!(e.sneak_a, 0.0);
+        assert!(e.read_margin_ok());
+    }
+
+    #[test]
+    fn signal_current_is_v_over_ron() {
+        let p = DeviceParams::default();
+        let e = sneak_path_current(16, CellStructure::TwoT1R, &p);
+        assert!((e.signal_a - 0.5 / 240e3).abs() < 1e-12);
+    }
+}

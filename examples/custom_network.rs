@@ -1,0 +1,60 @@
+//! Evaluating a user-defined workload on a user-tuned INCA instance: build
+//! a custom CNN description with [`inca::workloads::ModelBuilder`], modify
+//! the architecture (larger subarrays, deeper stacks), and simulate it.
+//!
+//! ```text
+//! cargo run --release --example custom_network
+//! ```
+
+use inca::prelude::*;
+use inca::sim::{simulate_feedforward, CostModel};
+use inca::workloads::{Model as Zoo, ModelBuilder, ModelSpec};
+
+fn main() -> Result<(), inca::Error> {
+    // A compact 64x64-input CNN that is not in the paper's zoo.
+    let layers = ModelBuilder::new(3, 64, 64)
+        .conv(32, 3, 1, 1, false)
+        .relu()
+        .max_pool(2, 2)
+        .conv(64, 3, 1, 1, false)
+        .relu()
+        .max_pool(2, 2)
+        .conv(128, 3, 2, 1, false)
+        .relu()
+        .linear(10, true)
+        .finish();
+    let spec = ModelSpec { model: Zoo::ResNet18, layers }; // tag is cosmetic for custom specs
+    println!(
+        "custom CNN: {} weighted layers, {:.2} M params, {:.1} M MACs",
+        spec.weighted_layers().count(),
+        spec.param_count() as f64 / 1e6,
+        spec.total_macs() as f64 / 1e6,
+    );
+
+    // Sweep the 3D stack depth (= batch parallelism) on a custom INCA.
+    println!("\nstack depth sweep (training latency per image):");
+    for planes in [16usize, 32, 64, 128] {
+        let mut cfg = ArchConfig::inca_paper();
+        cfg.stacked_planes = planes;
+        cfg.batch_size = planes;
+        let acc = Accelerator::with_config(cfg.clone())?;
+        let stats = inca::sim::simulate_training(acc.config(), &spec);
+        println!(
+            "  {planes:>4} planes: {:.3e} s/img, {:.3e} J/img",
+            stats.latency_s / planes as f64,
+            stats.energy.total_j() / planes as f64,
+        );
+    }
+
+    // Custom cost model: what if the cells were 10x leakier?
+    let mut cost = CostModel::default();
+    cost.leakage_w_per_mm2 *= 10.0;
+    let leaky = simulate_feedforward(&ArchConfig::inca_paper(), &spec, &cost);
+    let stock = simulate_feedforward(&ArchConfig::inca_paper(), &spec, &CostModel::default());
+    println!(
+        "\nleakage sensitivity: stock {:.3e} J vs 10x-leaky {:.3e} J per batch",
+        stock.energy.total_j(),
+        leaky.energy.total_j(),
+    );
+    Ok(())
+}

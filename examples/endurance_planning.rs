@@ -1,0 +1,50 @@
+//! Endurance planning (§VI): how long can each accelerator train before
+//! its RRAM cells wear out, and what do better devices buy?
+//!
+//! ```text
+//! cargo run --release --example endurance_planning
+//! ```
+
+use inca::prelude::*;
+use inca::sim::{training_lifetime, IMAGENET_TRAIN_IMAGES};
+
+fn main() {
+    let spec = Model::ResNet18.spec();
+
+    println!("training lifetime at the Table II operating point (1e6-write cells):\n");
+    println!("{:<18} {:>16} {:>18} {:>16}", "dataflow", "writes/cell/step", "steps to wear-out", "ImageNet epochs");
+    for cfg in [ArchConfig::inca_paper(), ArchConfig::baseline_paper()] {
+        let lt = training_lifetime(&cfg, &spec);
+        println!(
+            "{:<18} {:>16.1} {:>18.2e} {:>16.1}",
+            format!("{:?}", lt.dataflow),
+            lt.writes_per_cell_per_step,
+            lt.steps_to_wearout,
+            lt.epochs_for(IMAGENET_TRAIN_IMAGES),
+        );
+    }
+
+    println!("\ndevice-improvement sensitivity (INCA, §VI cites 50x TaOx doping gains):");
+    for factor in [1u64, 10, 50, 100] {
+        let mut cfg = ArchConfig::inca_paper();
+        cfg.device.endurance_writes *= factor;
+        let lt = training_lifetime(&cfg, &spec);
+        println!(
+            "  {factor:>4}x endurance -> {:>8.1} ImageNet epochs",
+            lt.epochs_for(IMAGENET_TRAIN_IMAGES)
+        );
+    }
+
+    // Wear accounting at the plane level, with the thread-safe tracker the
+    // batch-parallel simulation uses.
+    let tracker = inca::device::SharedEnduranceTracker::new(64, 1_000_000);
+    // One simulated epoch of ImageNet at batch 64: every plane's
+    // activation cells written twice per step.
+    let steps_per_epoch = IMAGENET_TRAIN_IMAGES / 64;
+    tracker.record_uniform(2 * steps_per_epoch).expect("one epoch fits the budget");
+    let report = tracker.report();
+    println!(
+        "\nafter one simulated ImageNet epoch: {:.1}% of the endurance budget consumed per cell",
+        report.worst_wear * 100.0
+    );
+}

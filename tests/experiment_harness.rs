@@ -1,0 +1,95 @@
+//! Integration coverage of the experiment registry: every analytic
+//! artifact regenerates, produces both text and JSON, and carries the
+//! structural properties the figures show.
+
+use inca_core::{Experiment, ExperimentOpts};
+
+#[test]
+fn every_analytic_experiment_regenerates() {
+    let opts = ExperimentOpts { quick: true };
+    for e in Experiment::all() {
+        if matches!(e, Experiment::Table1 | Experiment::Table6) {
+            continue; // ML experiments covered by their own test below
+        }
+        let r = e.run(&opts);
+        assert!(!r.text.trim().is_empty(), "{} produced no text", r.id);
+        assert!(r.data.is_object() || r.data.is_array(), "{} produced no data", r.id);
+    }
+}
+
+#[test]
+fn fig1b_curve_has_the_knee() {
+    let r = Experiment::Fig1b.run(&ExperimentOpts::default());
+    let curve = r.data["curve"].as_array().unwrap();
+    assert_eq!(curve.len(), 21);
+    let lat = |i: usize| curve[i][1].as_f64().unwrap();
+    // Flat until 80 %, then exponential growth.
+    assert!((lat(0) - lat(14)).abs() < 1e-9);
+    assert!(lat(20) > 10.0 * lat(0));
+}
+
+#[test]
+fn fig6_ws_memory_plus_static_dominates() {
+    let r = Experiment::Fig6.run(&ExperimentOpts::default());
+    for model in ["VGG16-CIFAR10", "ResNet18-CIFAR10"] {
+        let e = &r.data[model];
+        let total: f64 = ["dram_j", "buffer_j", "adc_j", "dac_j", "array_j", "digital_j", "static_j"]
+            .iter()
+            .map(|k| e[*k].as_f64().unwrap())
+            .sum();
+        let mem = e["dram_j"].as_f64().unwrap() + e["buffer_j"].as_f64().unwrap() + e["static_j"].as_f64().unwrap();
+        assert!(mem / total > 0.5, "{model}: memory+static share {}", mem / total);
+    }
+}
+
+#[test]
+fn fig7a_ws_needs_more_accesses_everywhere() {
+    let r = Experiment::Fig7a.run(&ExperimentOpts::default());
+    for row in r.data.as_array().unwrap() {
+        let ws = row["ws"].as_u64().unwrap();
+        let is = row["is"].as_u64().unwrap();
+        assert!(ws > is, "{}", row["model"]);
+    }
+}
+
+#[test]
+fn fig12_layerwise_crossover() {
+    // §V-B1: "INCA consumes more energy than the baseline in a few later
+    // layers" — early layers must favor INCA strongly, and the advantage
+    // must shrink with depth.
+    let r = Experiment::Fig12.run(&ExperimentOpts::default());
+    let rows = r.data.as_array().unwrap();
+    let ratio = |row: &serde_json::Value| {
+        row["baseline"].as_f64().unwrap() / row["inca"].as_f64().unwrap().max(1e-30)
+    };
+    let first = ratio(&rows[1]); // layer 1 (224x224 conv) — huge WS traffic
+    let late = ratio(&rows[rows.len() - 4]); // a deep conv layer
+    assert!(first > 10.0, "early-layer memory ratio {first}");
+    assert!(late < first, "late {late} should be below early {first}");
+}
+
+#[test]
+fn ablation_batch_shows_inca_scaling() {
+    let r = Experiment::AblationBatch.run(&ExperimentOpts::default());
+    let rows = r.data.as_array().unwrap();
+    let inca_1 = rows[0]["inca_per_image"].as_f64().unwrap();
+    let inca_64 = rows.last().unwrap()["inca_per_image"].as_f64().unwrap();
+    let base_1 = rows[0]["baseline_per_image"].as_f64().unwrap();
+    let base_64 = rows.last().unwrap()["baseline_per_image"].as_f64().unwrap();
+    // INCA's per-image training latency drops ~linearly with batch size;
+    // the baseline's does not improve.
+    assert!(inca_1 / inca_64 > 30.0, "INCA batch scaling {}", inca_1 / inca_64);
+    assert!(base_1 / base_64 < 2.0, "baseline should not batch-scale: {}", base_1 / base_64);
+}
+
+#[test]
+fn ablation_adc_bits_monotone() {
+    let r = Experiment::AblationAdcBits.run(&ExperimentOpts::default());
+    let rows = r.data.as_array().unwrap();
+    let mut prev = 0.0;
+    for row in rows {
+        let e = row["energy_j"].as_f64().unwrap();
+        assert!(e >= prev, "ADC energy not monotone in bits");
+        prev = e;
+    }
+}
