@@ -24,7 +24,12 @@ impl AreaBreakdown {
     /// Total chip area.
     #[must_use]
     pub fn total_mm2(&self) -> f64 {
-        self.buffer_mm2 + self.array_mm2 + self.adc_mm2 + self.dac_mm2 + self.post_processing_mm2 + self.others_mm2
+        self.buffer_mm2
+            + self.array_mm2
+            + self.adc_mm2
+            + self.dac_mm2
+            + self.post_processing_mm2
+            + self.others_mm2
     }
 }
 

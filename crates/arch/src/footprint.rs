@@ -101,7 +101,11 @@ mod tests {
         for (model, base_rram, base_buf) in cases {
             let r = m.evaluate(&model.spec());
             assert!(close(r.baseline_rram_mib, base_rram, 0.08), "{model} RRAM {}", r.baseline_rram_mib);
-            assert!(close(r.baseline_buffers_mib, base_buf, 0.10), "{model} buffers {}", r.baseline_buffers_mib);
+            assert!(
+                close(r.baseline_buffers_mib, base_buf, 0.10),
+                "{model} buffers {}",
+                r.baseline_buffers_mib
+            );
         }
     }
 

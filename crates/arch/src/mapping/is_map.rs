@@ -1,6 +1,5 @@
 use inca_workloads::{LayerSpec, ModelSpec};
 
-
 use super::{LayerMapping, MappingSummary};
 use crate::ArchConfig;
 

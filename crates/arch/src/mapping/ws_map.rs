@@ -32,7 +32,11 @@ impl WsMapping {
             crate::Dataflow::WeightStationary,
             "WsMapping requires a weight-stationary configuration"
         );
-        Self { rows: config.subarray as u64, cols: config.subarray as u64, data_bits: u64::from(config.data_bits) }
+        Self {
+            rows: config.subarray as u64,
+            cols: config.subarray as u64,
+            data_bits: u64::from(config.data_bits),
+        }
     }
 
     /// Maps one weighted layer; returns `None` for non-weighted layers.

@@ -36,7 +36,8 @@ fn ml_experiments(c: &mut Criterion) {
             net.push(layers::MaxPool2d::new(2, 2));
             net.push(layers::Flatten::new());
             net.push(layers::Linear::new(4 * 4 * 4, 4, 1));
-            let mut trainer = Trainer::new(TrainConfig { epochs: 1, lr: 0.05, batch_size: 16, ..TrainConfig::default() });
+            let mut trainer =
+                Trainer::new(TrainConfig { epochs: 1, lr: 0.05, batch_size: 16, ..TrainConfig::default() });
             black_box(trainer.fit(&mut net, &dataset, Loss::CrossEntropy))
         });
     });

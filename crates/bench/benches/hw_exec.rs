@@ -1,0 +1,139 @@
+//! Sequential-vs-parallel (and cached-vs-uncached) benchmark of the
+//! hardware-functional execution engine, emitting a machine-readable
+//! `BENCH_hw_exec.json` artifact at the workspace root.
+//!
+//! Three modes per engine:
+//!
+//! * `seq_uncached` — sequential schedule, programmed-state cache cleared
+//!   before every forward (the re-program-every-call baseline),
+//! * `seq_cached`   — sequential schedule, warm cache,
+//! * `par_cached`   — parallel schedule sized to the host, warm cache.
+//!
+//! On a single-core host the parallel speedup degenerates to ~1x by
+//! construction; the recorded `host_threads` field makes that legible in
+//! the artifact.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use inca_core::{ExecPolicy, HwBatchConv, HwConv};
+use inca_nn::Tensor;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+
+fn random_tensor(shape: &[usize], seed: u64, lo: f32, hi: f32) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Tensor::from_vec((0..shape.iter().product::<usize>()).map(|_| rng.gen_range(lo..hi)).collect(), shape)
+}
+
+/// Mean wall-clock nanoseconds per call after a short warmup.
+fn mean_ns<O, F: FnMut() -> O>(mut f: F, iters: u32) -> f64 {
+    for _ in 0..2 {
+        black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    t0.elapsed().as_secs_f64() * 1e9 / f64::from(iters)
+}
+
+fn hw_exec_benches(c: &mut Criterion) {
+    const ITERS: u32 = 5;
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // A mid-sized layer: 4 -> 8 channels, 3x3 on a 16x16 map.
+    let w = random_tensor(&[8, 4, 3, 3], 101, -0.5, 0.5);
+    let bias = vec![0.0f32; 8];
+    let x = random_tensor(&[1, 4, 16, 16], 102, -0.5, 1.0);
+    let conv_seq = HwConv::from_float(&w, &bias, 1, 1).unwrap();
+    let conv_par = conv_seq.clone().with_policy(ExecPolicy::parallel());
+
+    let conv_seq_uncached = mean_ns(
+        || {
+            conv_seq.clear_cache();
+            black_box(conv_seq.forward(&x).unwrap());
+        },
+        ITERS,
+    );
+    conv_seq.forward(&x).unwrap(); // warm the cache
+    let conv_seq_cached = mean_ns(|| black_box(conv_seq.forward(&x).unwrap()).len(), ITERS);
+    conv_par.forward(&x).unwrap();
+    let conv_par_cached = mean_ns(|| black_box(conv_par.forward(&x).unwrap()).len(), ITERS);
+
+    // The batch engine: same layer over a batch of 8.
+    let xb = random_tensor(&[8, 4, 16, 16], 103, -0.5, 1.0);
+    let batch_seq = HwBatchConv::from_float(&w, &bias, 1, 1).unwrap();
+    let batch_par = batch_seq.clone().with_policy(ExecPolicy::parallel());
+
+    let batch_seq_uncached = mean_ns(
+        || {
+            batch_seq.clear_cache();
+            black_box(batch_seq.forward(&xb).unwrap());
+        },
+        ITERS,
+    );
+    batch_seq.forward(&xb).unwrap();
+    let batch_seq_cached = mean_ns(|| black_box(batch_seq.forward(&xb).unwrap()).len(), ITERS);
+    batch_par.forward(&xb).unwrap();
+    let batch_par_cached = mean_ns(|| black_box(batch_par.forward(&xb).unwrap()).len(), ITERS);
+
+    let artifact = json!({
+        "benchmark": "hw_exec",
+        "host_threads": host_threads,
+        "iters_per_mode": ITERS,
+        "workload": json!({
+            "conv": "8x4x3x3 on 1x4x16x16, stride 1, pad 1",
+            "batch_conv": "8x4x3x3 on 8x4x16x16, stride 1, pad 1"
+        }),
+        "hw_conv": json!({
+            "seq_uncached_ns": conv_seq_uncached,
+            "seq_cached_ns": conv_seq_cached,
+            "par_cached_ns": conv_par_cached,
+            "cache_speedup": conv_seq_uncached / conv_seq_cached,
+            "parallel_speedup": conv_seq_cached / conv_par_cached
+        }),
+        "hw_batch_conv": json!({
+            "seq_uncached_ns": batch_seq_uncached,
+            "seq_cached_ns": batch_seq_cached,
+            "par_cached_ns": batch_par_cached,
+            "cache_speedup": batch_seq_uncached / batch_seq_cached,
+            "parallel_speedup": batch_seq_cached / batch_par_cached
+        })
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hw_exec.json");
+    std::fs::write(path, serde_json::to_string_pretty(&artifact).unwrap()).unwrap();
+    eprintln!("hw_exec artifact written to {path}");
+    eprintln!(
+        "hw_conv: seq_uncached {conv_seq_uncached:.0}ns seq_cached {conv_seq_cached:.0}ns par_cached {conv_par_cached:.0}ns ({host_threads} threads)"
+    );
+    eprintln!(
+        "hw_batch_conv: seq_uncached {batch_seq_uncached:.0}ns seq_cached {batch_seq_cached:.0}ns par_cached {batch_par_cached:.0}ns"
+    );
+
+    // Criterion's own measurement pass over the same modes.
+    let mut group = c.benchmark_group("hw_exec");
+    group.sample_size(10);
+    group.bench_function("conv_seq_uncached", |b| {
+        b.iter(|| {
+            conv_seq.clear_cache();
+            black_box(conv_seq.forward(&x).unwrap()).len()
+        });
+    });
+    group.bench_function("conv_seq_cached", |b| {
+        b.iter(|| black_box(conv_seq.forward(&x).unwrap()).len());
+    });
+    group.bench_function("conv_par_cached", |b| {
+        b.iter(|| black_box(conv_par.forward(&x).unwrap()).len());
+    });
+    group.bench_function("batch_seq_cached", |b| {
+        b.iter(|| black_box(batch_seq.forward(&xb).unwrap()).len());
+    });
+    group.bench_function("batch_par_cached", |b| {
+        b.iter(|| black_box(batch_par.forward(&xb).unwrap()).len());
+    });
+    group.finish();
+}
+
+criterion_group!(hw_exec, hw_exec_benches);
+criterion_main!(hw_exec);

@@ -88,9 +88,7 @@ fn scheduling_kernels(c: &mut Criterion) {
     let cfg = ArchConfig::inca_paper();
     let spec = Model::Vgg16.spec();
     let jobs = layer_jobs(&cfg, &spec);
-    group.bench_function("list_schedule_vgg16", |b| {
-        b.iter(|| black_box(schedule(&jobs, 16_128)))
-    });
+    group.bench_function("list_schedule_vgg16", |b| b.iter(|| black_box(schedule(&jobs, 16_128))));
     group.bench_function("schedule_network_resnet18", |b| {
         let rn = Model::ResNet18.spec();
         b.iter(|| black_box(schedule_network(&cfg, &rn)))

@@ -24,7 +24,10 @@ use inca_core::{Experiment, ExperimentOpts, ExperimentResult};
 /// # Errors
 ///
 /// Returns the offending id when it is unknown.
-pub fn run_ids<'a>(ids: impl IntoIterator<Item = &'a str>, opts: &ExperimentOpts) -> Result<Vec<ExperimentResult>, String> {
+pub fn run_ids<'a>(
+    ids: impl IntoIterator<Item = &'a str>,
+    opts: &ExperimentOpts,
+) -> Result<Vec<ExperimentResult>, String> {
     let mut out = Vec::new();
     for id in ids {
         if id == "all" {
@@ -42,9 +45,8 @@ pub fn run_ids<'a>(ids: impl IntoIterator<Item = &'a str>, opts: &ExperimentOpts
 /// The usage string of the experiments binary.
 #[must_use]
 pub fn usage() -> String {
-    let mut s = String::from(
-        "usage: experiments [--full] [--json PATH] <id>... | all\n\navailable experiments:\n",
-    );
+    let mut s =
+        String::from("usage: experiments [--full] [--json PATH] <id>... | all\n\navailable experiments:\n");
     for e in Experiment::all() {
         s.push_str(&format!("  {:<22} {}\n", e.id(), e.title()));
     }

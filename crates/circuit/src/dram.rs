@@ -87,9 +87,7 @@ impl DramModel {
         knee: f64,
     ) -> Result<Self> {
         if sustained_bw <= 0.0 || idle_latency_s <= 0.0 || energy_per_bit_j <= 0.0 {
-            return Err(CircuitError::InvalidParams(
-                "bandwidth, latency and energy must be positive".into(),
-            ));
+            return Err(CircuitError::InvalidParams("bandwidth, latency and energy must be positive".into()));
         }
         if !(0.0..1.0).contains(&knee) || knee == 0.0 {
             return Err(CircuitError::InvalidParams("knee must lie in (0, 1)".into()));

@@ -49,13 +49,7 @@ impl HTree {
             return Err(CircuitError::InvalidParams("die edge must be positive".into()));
         }
         let levels = (usize::BITS - (leaves - 1).leading_zeros()).max(1);
-        Ok(Self {
-            leaves,
-            levels,
-            die_edge_mm,
-            energy_per_bit_mm_j: 0.08e-12,
-            delay_per_mm_s: 100e-12,
-        })
+        Ok(Self { leaves, levels, die_edge_mm, energy_per_bit_mm_j: 0.08e-12, delay_per_mm_s: 100e-12 })
     }
 
     /// Number of branch levels: `ceil(log2(leaves))`.

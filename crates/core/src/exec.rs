@@ -1,0 +1,153 @@
+//! Execution policy and scoped-thread fan-out for the hardware-functional
+//! engine.
+//!
+//! The INCA hardware evaluates every output window independently — each
+//! is its own read burst against an already-programmed crossbar state —
+//! so the functional simulator is free to fan output rows across worker
+//! threads without changing a single accumulated bit. This module holds
+//! the policy knob ([`ExecPolicy`]) plus the generic chunked fan-out
+//! helper the conv engines use, built on the same scoped-thread pattern
+//! as `inca_sim`'s sweep runner.
+
+use crate::Result;
+
+/// How a hardware-functional forward pass schedules its output windows.
+///
+/// The parallel schedule is *bit-exact* with the sequential one: every
+/// output element is an independent integer accumulation whose internal
+/// order is unchanged, only the order between elements differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecPolicy {
+    /// One thread computes every output window in row-major order.
+    #[default]
+    Sequential,
+    /// Output rows are round-robined across `threads` scoped workers.
+    Parallel {
+        /// Number of worker threads (clamped to at least 1).
+        threads: usize,
+    },
+}
+
+impl ExecPolicy {
+    /// A parallel policy sized to the host's available parallelism.
+    #[must_use]
+    pub fn parallel() -> Self {
+        Self::Parallel { threads: std::thread::available_parallelism().map_or(1, usize::from) }
+    }
+
+    /// The worker count this policy schedules onto.
+    #[must_use]
+    pub fn threads(self) -> usize {
+        match self {
+            Self::Sequential => 1,
+            Self::Parallel { threads } => threads.max(1),
+        }
+    }
+}
+
+/// Splits `data` into consecutive `chunk_len`-sized chunks and applies
+/// `f(chunk_index, chunk)` to each, either in-place (sequential) or
+/// round-robined across scoped worker threads.
+///
+/// Chunks are disjoint `&mut` slices, so workers never alias; the first
+/// error (in chunk order per worker) is propagated after all workers
+/// join.
+///
+/// # Errors
+///
+/// Returns the first error any chunk's `f` produced.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the panic is resumed on the caller).
+pub fn for_each_chunk<T, F>(policy: ExecPolicy, data: &mut [T], chunk_len: usize, f: F) -> Result<()>
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) -> Result<()> + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let threads = policy.threads();
+    if threads <= 1 || data.len() <= chunk_len {
+        for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(idx, chunk)?;
+        }
+        return Ok(());
+    }
+    // Deal chunks round-robin so each worker owns a disjoint set of
+    // slices; mirrors the scoped-spawn pattern in `inca_sim::sweep`.
+    let mut groups: Vec<Vec<(usize, &mut [T])>> = (0..threads).map(|_| Vec::new()).collect();
+    for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        groups[idx % threads].push((idx, chunk));
+    }
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .filter(|group| !group.is_empty())
+            .map(|group| {
+                scope.spawn(move |_| -> Result<()> {
+                    for (idx, chunk) in group {
+                        f(idx, chunk)?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        let mut first_err = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    })
+    .expect("hw-exec thread scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_and_parallel_fill_identically() {
+        let fill = |policy: ExecPolicy| -> Vec<u64> {
+            let mut data = vec![0u64; 103];
+            for_each_chunk(policy, &mut data, 7, |idx, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = (idx as u64) * 1000 + i as u64;
+                }
+                Ok(())
+            })
+            .unwrap();
+            data
+        };
+        assert_eq!(fill(ExecPolicy::Sequential), fill(ExecPolicy::Parallel { threads: 4 }));
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        let mut data = vec![0u8; 32];
+        let r = for_each_chunk(ExecPolicy::Parallel { threads: 3 }, &mut data, 4, |idx, _| {
+            if idx == 5 {
+                Err(crate::Error::Config("boom".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn policy_thread_counts() {
+        assert_eq!(ExecPolicy::Sequential.threads(), 1);
+        assert_eq!(ExecPolicy::Parallel { threads: 0 }.threads(), 1);
+        assert!(ExecPolicy::parallel().threads() >= 1);
+    }
+}

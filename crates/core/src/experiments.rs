@@ -71,9 +71,30 @@ impl Experiment {
     pub fn all() -> Vec<Experiment> {
         use Experiment::*;
         vec![
-            Fig1b, Fig6, Fig7a, Fig7b, Table1, Table2, Table3, Fig11, Fig12, Fig13, Fig14, Fig15,
-            Fig16, Table4, Table5, Table6, AblationArraySize, AblationAdcBits, AblationBatch,
-            AblationBusWidth, AblationUnroll, Endurance, HwInference, TrainingPhases,
+            Fig1b,
+            Fig6,
+            Fig7a,
+            Fig7b,
+            Table1,
+            Table2,
+            Table3,
+            Fig11,
+            Fig12,
+            Fig13,
+            Fig14,
+            Fig15,
+            Fig16,
+            Table4,
+            Table5,
+            Table6,
+            AblationArraySize,
+            AblationAdcBits,
+            AblationBatch,
+            AblationBusWidth,
+            AblationUnroll,
+            Endurance,
+            HwInference,
+            TrainingPhases,
             AblationChipCapacity,
         ]
     }
@@ -144,7 +165,9 @@ impl Experiment {
             Experiment::Endurance => "Endurance: training lifetime under RRAM wear (§VI)",
             Experiment::HwInference => "Functional: trained CNN executed on simulated 2T1R hardware",
             Experiment::TrainingPhases => "Training phases: feedforward vs backward vs update energy",
-            Experiment::AblationChipCapacity => "Ablation: event-driven scheduling under bounded chip capacity",
+            Experiment::AblationChipCapacity => {
+                "Ablation: event-driven scheduling under bounded chip capacity"
+            }
         }
     }
 
@@ -284,8 +307,8 @@ fn table2() -> (String, serde_json::Value) {
     (
         text,
         json!({
-            "inca": { "subarray": inca.subarray, "planes": inca.stacked_planes, "adc_bits": inca.adc.bits() },
-            "baseline": { "subarray": base.subarray, "adc_bits": base.adc.bits() },
+            "inca": json!({ "subarray": inca.subarray, "planes": inca.stacked_planes, "adc_bits": inca.adc.bits() }),
+            "baseline": json!({ "subarray": base.subarray, "adc_bits": base.adc.bits() }),
         }),
     )
 }
@@ -326,8 +349,16 @@ fn fig12() -> (String, serde_json::Value) {
     let mut text = String::from("layer | baseline DRAM+buffer (J/batch) | INCA DRAM+buffer (J/batch)\n");
     let mut rows = Vec::new();
     for (b, i) in base.per_layer.iter().zip(&inca.per_layer) {
-        let _ = writeln!(text, "{:>5} | {:>30.4e} | {:>26.4e}", b.layer_index, b.energy.memory_j(), i.energy.memory_j());
-        rows.push(json!({ "layer": b.layer_index, "baseline": b.energy.memory_j(), "inca": i.energy.memory_j() }));
+        let _ = writeln!(
+            text,
+            "{:>5} | {:>30.4e} | {:>26.4e}",
+            b.layer_index,
+            b.energy.memory_j(),
+            i.energy.memory_j()
+        );
+        rows.push(
+            json!({ "layer": b.layer_index, "baseline": b.energy.memory_j(), "inca": i.energy.memory_j() }),
+        );
     }
     (text, json!(rows))
 }
@@ -337,10 +368,16 @@ fn fig13() -> (String, serde_json::Value) {
     let base = simulate_inference(&ArchConfig::baseline_paper(), &spec);
     let inca = simulate_inference(&ArchConfig::inca_paper(), &spec);
     let adc_ratio = base.energy.adc_j / inca.energy.adc_j;
-    let mut text = format!("ADC energy: baseline {:.4e} J, INCA {:.4e} J -> {:.1}x reduction (paper: 5x)\n", base.energy.adc_j, inca.energy.adc_j, adc_ratio);
+    let mut text = format!(
+        "ADC energy: baseline {:.4e} J, INCA {:.4e} J -> {:.1}x reduction (paper: 5x)\n",
+        base.energy.adc_j, inca.energy.adc_j, adc_ratio
+    );
     text.push_str(&format_energy_table("INCA breakdown", &inca.energy));
     text.push('\n');
-    (text, json!({ "adc_ratio": adc_ratio, "inca_breakdown": inca.energy, "baseline_breakdown": base.energy }))
+    (
+        text,
+        json!({ "adc_ratio": adc_ratio, "inca_breakdown": inca.energy, "baseline_breakdown": base.energy }),
+    )
 }
 
 fn fig15() -> (String, serde_json::Value) {
@@ -349,7 +386,13 @@ fn fig15() -> (String, serde_json::Value) {
     let mut rows = Vec::new();
     for model in Model::paper_suite() {
         let r = c.run(model);
-        let _ = writeln!(text, "{:<14} | {:>17.1}x | {:>26.1}x", model.name(), r.gpu_energy_ratio, r.gpu_throughput_per_area_ratio);
+        let _ = writeln!(
+            text,
+            "{:<14} | {:>17.1}x | {:>26.1}x",
+            model.name(),
+            r.gpu_energy_ratio,
+            r.gpu_throughput_per_area_ratio
+        );
         rows.push(json!({ "model": model.name(), "energy": r.gpu_energy_ratio, "throughput_per_area": r.gpu_throughput_per_area_ratio }));
     }
     (text, json!(rows))
@@ -374,7 +417,8 @@ fn fig16() -> (String, serde_json::Value) {
         let spec = model.spec();
         let u_is = is.utilization(&spec);
         let u_ws = ws.utilization_by_cycles(&spec);
-        let _ = writeln!(text, "  {:<14}: INCA {:>5.1}%  WS {:>5.1}%", model.name(), u_is * 100.0, u_ws * 100.0);
+        let _ =
+            writeln!(text, "  {:<14}: INCA {:>5.1}%  WS {:>5.1}%", model.name(), u_is * 100.0, u_ws * 100.0);
         per_model.push(json!({ "model": model.name(), "inca": u_is, "ws": u_ws }));
     }
     (text, json!({ "size_sweep": sweep, "per_model": per_model }))
@@ -413,13 +457,20 @@ fn table5() -> (String, serde_json::Value) {
          post-processing | {:>12.3} | {:>8.3}\n\
          others          | {:>12.3} | {:>8.3}\n\
          total           | {:>12.3} | {:>8.3}  (paper: 84.088 / 47.914)\n",
-        base.buffer_mm2, inca.buffer_mm2,
-        base.array_mm2, inca.array_mm2,
-        base.adc_mm2, inca.adc_mm2,
-        base.dac_mm2, inca.dac_mm2,
-        base.post_processing_mm2, inca.post_processing_mm2,
-        base.others_mm2, inca.others_mm2,
-        base.total_mm2(), inca.total_mm2(),
+        base.buffer_mm2,
+        inca.buffer_mm2,
+        base.array_mm2,
+        inca.array_mm2,
+        base.adc_mm2,
+        inca.adc_mm2,
+        base.dac_mm2,
+        inca.dac_mm2,
+        base.post_processing_mm2,
+        inca.post_processing_mm2,
+        base.others_mm2,
+        inca.others_mm2,
+        base.total_mm2(),
+        inca.total_mm2(),
     );
     (text, json!({ "baseline": base, "inca": inca }))
 }
@@ -431,7 +482,11 @@ fn table6(opts: &ExperimentOpts) -> (String, serde_json::Value) {
     let mut rows = Vec::new();
     for sigma in sigmas {
         let row = noise_accuracy_row(&cfg, sigma);
-        let _ = writeln!(text, "{sigma:<6} | {:>18.1} | {:>22.1}", row.weight_noise_acc, row.activation_noise_acc);
+        let _ = writeln!(
+            text,
+            "{sigma:<6} | {:>18.1} | {:>22.1}",
+            row.weight_noise_acc, row.activation_noise_acc
+        );
         rows.push(json!(row));
     }
     (text, json!(rows))
@@ -536,10 +591,14 @@ fn endurance() -> (String, serde_json::Value) {
             "{:<8?} | {:>16.1} | {:>17.3e} | {:>15.1}",
             lt.dataflow, lt.writes_per_cell_per_step, lt.steps_to_wearout, epochs
         );
-        rows.push(json!({ "dataflow": format!("{:?}", lt.dataflow), "lifetime": lt, "imagenet_epochs": epochs }));
+        rows.push(
+            json!({ "dataflow": format!("{:?}", lt.dataflow), "lifetime": lt, "imagenet_epochs": epochs }),
+        );
     }
-    text.push_str("(endurance limit 1e6 writes; §VI cites 50x device improvements in progress)
-");
+    text.push_str(
+        "(endurance limit 1e6 writes; §VI cites 50x device improvements in progress)
+",
+    );
     (text, json!(rows))
 }
 
@@ -598,10 +657,7 @@ fn hw_inference(opts: &ExperimentOpts) -> (String, serde_json::Value) {
                 }
             }
         }
-        let h = hw_fc
-            .forward(&pooled.reshaped(&[1, 6 * (side / 2) * (side / 2)]))
-            .expect("hw fc")
-            .argmax();
+        let h = hw_fc.forward(&pooled.reshaped(&[1, 6 * (side / 2) * (side / 2)])).expect("hw fc").argmax();
         float_ok += usize::from(f == y[0]);
         hw_ok += usize::from(h == y[0]);
         agree += usize::from(f == h);

@@ -3,21 +3,44 @@
 //! evaluates the same window on *every* plane, i.e. every batch sample,
 //! in a single read cycle.
 
+#![allow(clippy::needless_range_loop)] // loops index several arrays with one shared variable
+use std::sync::Arc;
+
 use inca_nn::Tensor;
 use inca_xbar::quant::slice_to_bit_planes;
 use inca_xbar::sliding::output_dims_padded;
 use inca_xbar::Stack3d;
+use parking_lot::Mutex;
 
+use crate::exec::{self, ExecPolicy};
+use crate::hw_exec::{weight_levels, DATA_BITS, WEIGHT_BITS};
 use crate::{Error, Result};
 
-/// Quantization width (Table II: 8-bit).
-const DATA_BITS: u8 = 8;
+/// The programmed batch state: one stack per (channel, activation bit)
+/// holding every sample's padded bit-plane. Cached per layer and reused
+/// while the quantized batch is unchanged.
+#[derive(Debug)]
+struct ProgrammedBatch {
+    b: usize,
+    h: usize,
+    w: usize,
+    x_min: f32,
+    x_scale: f32,
+    /// Padded codes, `[c][b][ph*pw]` flattened — the cache key payload.
+    codes: Vec<u32>,
+    stacks: Vec<Vec<Stack3d>>,
+}
+
+type BatchCache = Arc<Mutex<Option<Arc<ProgrammedBatch>>>>;
 
 /// A convolution layer executing a whole batch on 3D stacks.
 ///
 /// Each (input-channel, activation-bit) pair owns one [`Stack3d`] whose
 /// planes hold the batch samples; forward passes broadcast each kernel
 /// bit-plane once per window and collect one partial sum per plane.
+/// Kernel magnitude bit-planes are pre-sliced at programming time and
+/// the programmed stacks are cached on the quantized batch codes, so
+/// repeated forwards of the same batch write the planes once.
 ///
 /// # Examples
 ///
@@ -40,15 +63,20 @@ pub struct HwBatchConv {
     k: usize,
     stride: usize,
     pad: usize,
-    w_pos: Vec<Vec<Vec<u32>>>,
-    w_neg: Vec<Vec<Vec<u32>>>,
+    /// Kernel magnitude bit-planes: `[out][in][wbit][k*k]`.
+    w_pos_planes: Vec<Vec<Vec<Vec<u8>>>>,
+    w_neg_planes: Vec<Vec<Vec<Vec<u8>>>>,
+    /// Per-output signed sum of weight codes (offset correction).
+    kernel_code_sum: Vec<i64>,
     w_scale: f32,
     bias: Vec<f32>,
+    policy: ExecPolicy,
+    cache: BatchCache,
 }
 
 impl HwBatchConv {
     /// Quantizes float weights (`[out, in, k, k]`) with the differential
-    /// encoding.
+    /// encoding (signed 8-bit: 7-bit magnitudes, sign on the pair).
     ///
     /// # Errors
     ///
@@ -64,29 +92,140 @@ impl HwBatchConv {
         if bias.len() != out_ch {
             return Err(Error::Config("bias length mismatch".into()));
         }
-        let levels = f32::from((1u16 << DATA_BITS) - 1);
         let w_max = weights.data().iter().fold(0.0f32, |m, &w| m.max(w.abs())).max(1e-12);
-        let w_scale = w_max / levels;
-        let mut w_pos = vec![vec![vec![0u32; k * k]; in_ch]; out_ch];
-        let mut w_neg = vec![vec![vec![0u32; k * k]; in_ch]; out_ch];
+        let w_scale = w_max / weight_levels();
+        let mut w_pos_planes = Vec::with_capacity(out_ch);
+        let mut w_neg_planes = Vec::with_capacity(out_ch);
+        let mut kernel_code_sum = vec![0i64; out_ch];
         for o in 0..out_ch {
+            let mut pos_chan = Vec::with_capacity(in_ch);
+            let mut neg_chan = Vec::with_capacity(in_ch);
             for c in 0..in_ch {
+                let mut pos = vec![0u32; k * k];
+                let mut neg = vec![0u32; k * k];
                 for i in 0..k * k {
                     let q = (weights.at4(o, c, i / k, i % k) / w_scale).round() as i32;
                     if q >= 0 {
-                        w_pos[o][c][i] = q as u32;
+                        pos[i] = q as u32;
                     } else {
-                        w_neg[o][c][i] = (-q) as u32;
+                        neg[i] = (-q) as u32;
+                    }
+                }
+                kernel_code_sum[o] += pos.iter().map(|&v| i64::from(v)).sum::<i64>()
+                    - neg.iter().map(|&v| i64::from(v)).sum::<i64>();
+                pos_chan.push(slice_to_bit_planes(&pos, WEIGHT_BITS));
+                neg_chan.push(slice_to_bit_planes(&neg, WEIGHT_BITS));
+            }
+            w_pos_planes.push(pos_chan);
+            w_neg_planes.push(neg_chan);
+        }
+        Ok(Self {
+            out_ch,
+            in_ch,
+            k,
+            stride,
+            pad,
+            w_pos_planes,
+            w_neg_planes,
+            kernel_code_sum,
+            w_scale,
+            bias: bias.to_vec(),
+            policy: ExecPolicy::Sequential,
+            cache: Arc::default(),
+        })
+    }
+
+    /// Sets the execution policy for subsequent forwards.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the execution policy in place (builder-free variant).
+    pub fn set_policy(&mut self, policy: ExecPolicy) {
+        self.policy = policy;
+    }
+
+    /// The currently configured execution policy.
+    #[must_use]
+    pub fn policy(&self) -> ExecPolicy {
+        self.policy
+    }
+
+    /// Drops any cached programmed batch state.
+    pub fn clear_cache(&self) {
+        *self.cache.lock() = None;
+    }
+
+    /// Quantizes the batch and programs (or reuses) the stack state.
+    fn program(&self, x: &Tensor, b: usize, c: usize, h: usize, w: usize) -> Result<Arc<ProgrammedBatch>> {
+        // Batch-shared activation quantization (the planes share one
+        // readout scale per stack).
+        let levels = f32::from((1u16 << DATA_BITS) - 1);
+        let x_min = x.data().iter().fold(0.0f32, |m, &v| m.min(v)).min(0.0);
+        let x_max = x.data().iter().fold(0.0f32, |m, &v| m.max(v)).max(x_min + 1e-9);
+        let x_scale = ((x_max - x_min) / levels).max(1e-12);
+        let zero_code = ((-x_min / x_scale).round() as u32).min(levels as u32);
+
+        let ph = h + 2 * self.pad;
+        let pw = w + 2 * self.pad;
+        let mut codes = vec![zero_code; c * b * ph * pw];
+        for ci in 0..c {
+            for bi in 0..b {
+                let base = (ci * b + bi) * ph * pw;
+                for y in 0..h {
+                    for xx in 0..w {
+                        let v = x.at4(bi, ci, y, xx);
+                        codes[base + (y + self.pad) * pw + xx + self.pad] =
+                            (((v - x_min) / x_scale).round() as u32).min(levels as u32);
                     }
                 }
             }
         }
-        Ok(Self { out_ch, in_ch, k, stride, pad, w_pos, w_neg, w_scale, bias: bias.to_vec() })
+        {
+            let cached = self.cache.lock();
+            if let Some(pb) = cached.as_ref() {
+                if pb.b == b
+                    && pb.h == h
+                    && pb.w == w
+                    && pb.x_min.to_bits() == x_min.to_bits()
+                    && pb.x_scale.to_bits() == x_scale.to_bits()
+                    && pb.codes == codes
+                {
+                    return Ok(Arc::clone(pb));
+                }
+            }
+        }
+        // One stack per (channel, activation bit): padded H x W planes,
+        // one plane per batch sample.
+        let mut stacks: Vec<Vec<Stack3d>> = Vec::with_capacity(c);
+        for ci in 0..c {
+            let mut per_bit = Vec::with_capacity(usize::from(DATA_BITS));
+            for bit in 0..usize::from(DATA_BITS) {
+                let mut stack = Stack3d::new(ph, pw, b);
+                for bi in 0..b {
+                    let base = (ci * b + bi) * ph * pw;
+                    let bits: Vec<u8> =
+                        codes[base..base + ph * pw].iter().map(|&v| ((v >> bit) & 1) as u8).collect();
+                    stack.write_plane(bi, &bits)?;
+                }
+                per_bit.push(stack);
+            }
+            stacks.push(per_bit);
+        }
+        let pb = Arc::new(ProgrammedBatch { b, h, w, x_min, x_scale, codes, stacks });
+        *self.cache.lock() = Some(Arc::clone(&pb));
+        Ok(pb)
     }
 
     /// Executes the layer on a `[B, C, H, W]` batch, returning
     /// `[B, N, OH, OW]`. One read cycle per (window, output channel,
     /// weight bit, activation bit) serves the entire batch.
+    ///
+    /// Respects the configured [`ExecPolicy`]: output rows are fanned
+    /// across scoped workers (each window read is still one broadcast
+    /// serving the whole batch), bit-exact with sequential execution.
     ///
     /// # Errors
     ///
@@ -97,86 +236,46 @@ impl HwBatchConv {
         if c != self.in_ch {
             return Err(Error::Config(format!("expected {} channels, got {c}", self.in_ch)));
         }
-        // Batch-shared activation quantization (the planes share one
-        // readout scale per stack).
-        let levels = f32::from((1u16 << DATA_BITS) - 1);
-        let x_min = x.data().iter().fold(0.0f32, |m, &v| m.min(v)).min(0.0);
-        let x_max = x.data().iter().fold(0.0f32, |m, &v| m.max(v)).max(x_min + 1e-9);
-        let x_scale = ((x_max - x_min) / levels).max(1e-12);
-        let zero_code = ((-x_min / x_scale).round() as u32).min(levels as u32);
-
-        // One stack per (channel, activation bit): padded H x W planes,
-        // one plane per batch sample.
-        let ph = h + 2 * self.pad;
-        let pw = w + 2 * self.pad;
-        let mut stacks: Vec<Vec<Stack3d>> = Vec::with_capacity(c);
-        for ci in 0..c {
-            let mut per_bit = Vec::with_capacity(usize::from(DATA_BITS));
-            // Gather per-sample padded codes once.
-            let mut codes_per_sample: Vec<Vec<u32>> = Vec::with_capacity(b);
-            for bi in 0..b {
-                let mut codes = vec![zero_code; ph * pw];
-                for y in 0..h {
-                    for xx in 0..w {
-                        let v = x.at4(bi, ci, y, xx);
-                        codes[(y + self.pad) * pw + xx + self.pad] =
-                            (((v - x_min) / x_scale).round() as u32).min(levels as u32);
-                    }
-                }
-                codes_per_sample.push(codes);
-            }
-            for bit in 0..usize::from(DATA_BITS) {
-                let mut stack = Stack3d::new(ph, pw, b);
-                for (bi, codes) in codes_per_sample.iter().enumerate() {
-                    let bits: Vec<u8> = codes.iter().map(|&v| ((v >> bit) & 1) as u8).collect();
-                    stack.write_plane(bi, &bits)?;
-                }
-                per_bit.push(stack);
-            }
-            stacks.push(per_bit);
-        }
-
-        // Offset correction per output channel.
-        let kernel_code_sum: Vec<i64> = (0..self.out_ch)
-            .map(|o| {
-                (0..c)
-                    .map(|ci| {
-                        let p: i64 = self.w_pos[o][ci].iter().map(|&v| i64::from(v)).sum();
-                        let n: i64 = self.w_neg[o][ci].iter().map(|&v| i64::from(v)).sum();
-                        p - n
-                    })
-                    .sum()
-            })
-            .collect();
+        let pb = self.program(x, b, c, h, w)?;
 
         let (oh, ow) = output_dims_padded(h, w, self.k, self.k, self.stride, self.pad);
-        let mut out = Tensor::zeros(&[b, self.out_ch, oh, ow]);
-        let mut acc = vec![0i64; b];
-        for o in 0..self.out_ch {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    acc.fill(0);
-                    let (ry, rx) = (oy * self.stride, ox * self.stride);
-                    for ci in 0..c {
-                        for (sign, kernel) in
-                            [(1i64, &self.w_pos[o][ci]), (-1i64, &self.w_neg[o][ci])]
-                        {
-                            let k_planes = slice_to_bit_planes(kernel, DATA_BITS);
-                            for (wb, wp) in k_planes.iter().enumerate() {
-                                for (xb, stack) in stacks[ci].iter().enumerate() {
-                                    // ONE broadcast read returns the whole
-                                    // batch's partial sums.
-                                    let sums = stack.direct_conv_window(ry, rx, self.k, self.k, wp)?;
-                                    for (bi, &s) in sums.iter().enumerate() {
-                                        acc[bi] += sign * (i64::from(s) << (wb + xb));
-                                    }
+        // Accumulators laid out `[(o, oy, ox)][bi]` so one (o, oy) row is
+        // a contiguous chunk a worker owns exclusively.
+        let mut accs = vec![0i64; self.out_ch * oh * ow * b];
+        let pb_ref = &*pb;
+        exec::for_each_chunk(self.policy, &mut accs, ow * b, |idx, row| {
+            let (o, oy) = (idx / oh, idx % oh);
+            for ox in 0..ow {
+                let acc = &mut row[ox * b..(ox + 1) * b];
+                let (ry, rx) = (oy * self.stride, ox * self.stride);
+                for ci in 0..c {
+                    for (sign, w_planes) in
+                        [(1i64, &self.w_pos_planes[o][ci]), (-1i64, &self.w_neg_planes[o][ci])]
+                    {
+                        for (wb, wp) in w_planes.iter().enumerate() {
+                            for (xb, stack) in pb_ref.stacks[ci].iter().enumerate() {
+                                // ONE broadcast read returns the whole
+                                // batch's partial sums.
+                                let sums = stack.direct_conv_window(ry, rx, self.k, self.k, wp)?;
+                                for (bi, &s) in sums.iter().enumerate() {
+                                    acc[bi] += sign * (i64::from(s) << (wb + xb));
                                 }
                             }
                         }
                     }
-                    for (bi, &a) in acc.iter().enumerate() {
-                        *out.at4_mut(bi, o, oy, ox) = a as f32 * x_scale * self.w_scale
-                            + x_min * self.w_scale * kernel_code_sum[o] as f32
+                }
+            }
+            Ok(())
+        })?;
+
+        let mut out = Tensor::zeros(&[b, self.out_ch, oh, ow]);
+        for o in 0..self.out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let base = ((o * oh + oy) * ow + ox) * b;
+                    for bi in 0..b {
+                        *out.at4_mut(bi, o, oy, ox) = accs[base + bi] as f32 * pb.x_scale * self.w_scale
+                            + pb.x_min * self.w_scale * self.kernel_code_sum[o] as f32
                             + self.bias[o];
                     }
                 }
@@ -194,10 +293,7 @@ mod tests {
 
     fn random_tensor(shape: &[usize], seed: u64, lo: f32, hi: f32) -> Tensor {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        Tensor::from_vec(
-            (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(lo..hi)).collect(),
-            shape,
-        )
+        Tensor::from_vec((0..shape.iter().product::<usize>()).map(|_| rng.gen_range(lo..hi)).collect(), shape)
     }
 
     #[test]
@@ -223,6 +319,46 @@ mod tests {
                 assert!((a - b).abs() < 0.05 * scale, "sample {bi} elem {o}: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn engines_agree_bit_exactly_for_batch_of_one() {
+        // For a batch of one the two engines share the activation range
+        // and quantization formulas exactly, and for 3x3 kernels the
+        // 4-bit ADC is the identity on window sums (fan-in 9 ≤ 15) — so
+        // the IS plane engine and the 3D stack engine must agree to the
+        // last bit, not just within tolerance. This cross-checks the
+        // shared signed-8-bit weight convention end to end.
+        let w = random_tensor(&[3, 2, 3, 3], 61, -0.7, 0.7);
+        let bias = [0.2f32, -0.3, 0.05];
+        let x = random_tensor(&[1, 2, 9, 9], 62, -0.8, 1.0);
+        let plane = HwConv::from_float(&w, &bias, 1, 1).unwrap().forward(&x).unwrap();
+        let stack = HwBatchConv::from_float(&w, &bias, 1, 1).unwrap().forward(&x).unwrap();
+        assert_eq!(plane.shape(), stack.shape());
+        assert_eq!(plane.data(), stack.data());
+    }
+
+    #[test]
+    fn parallel_policy_is_bit_exact() {
+        let w = random_tensor(&[2, 2, 3, 3], 63, -0.5, 0.5);
+        let x = random_tensor(&[4, 2, 8, 8], 64, -0.4, 1.0);
+        let seq = HwBatchConv::from_float(&w, &[0.1, -0.1], 1, 1).unwrap();
+        let par = seq.clone().with_policy(ExecPolicy::Parallel { threads: 4 });
+        assert_eq!(seq.forward(&x).unwrap().data(), par.forward(&x).unwrap().data());
+    }
+
+    #[test]
+    fn repeated_forward_hits_stack_cache() {
+        let w = random_tensor(&[1, 1, 3, 3], 65, -0.3, 0.3);
+        let conv = HwBatchConv::from_float(&w, &[0.0], 1, 1).unwrap();
+        let x = random_tensor(&[2, 1, 6, 6], 66, 0.0, 1.0);
+        let y1 = conv.forward(&x).unwrap();
+        let y2 = conv.forward(&x).unwrap();
+        assert_eq!(y1.data(), y2.data());
+        let x2 = random_tensor(&[2, 1, 6, 6], 67, 0.0, 1.0);
+        assert_ne!(conv.forward(&x2).unwrap().data(), y1.data());
+        conv.clear_cache();
+        assert_eq!(conv.forward(&x).unwrap().data(), y1.data());
     }
 
     #[test]

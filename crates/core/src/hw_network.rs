@@ -4,6 +4,7 @@
 
 use inca_nn::Tensor;
 
+use crate::exec::ExecPolicy;
 use crate::{Error, HwConv, HwLinear, Result};
 
 /// One stage of a hardware network.
@@ -91,6 +92,18 @@ impl HwNetwork {
         self
     }
 
+    /// Applies an execution policy to every convolution stage currently
+    /// in the network (call this after assembling the stages).
+    #[must_use]
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        for stage in &mut self.stages {
+            if let HwStage::Conv(conv) = stage {
+                conv.set_policy(policy);
+            }
+        }
+        self
+    }
+
     /// Number of stages.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -175,10 +188,7 @@ mod tests {
 
     fn random_tensor(shape: &[usize], seed: u64, lo: f32, hi: f32) -> Tensor {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        Tensor::from_vec(
-            (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(lo..hi)).collect(),
-            shape,
-        )
+        Tensor::from_vec((0..shape.iter().product::<usize>()).map(|_| rng.gen_range(lo..hi)).collect(), shape)
     }
 
     #[test]

@@ -21,10 +21,9 @@ use inca_nn::Tensor;
 use inca_xbar::quant::slice_to_bit_planes;
 use inca_xbar::VerticalPlane;
 
+use crate::exec::ExecPolicy;
+use crate::hw_exec::{weight_levels, DATA_BITS, WEIGHT_BITS};
 use crate::{Error, Result};
-
-/// Quantization width (Table II: 8-bit).
-const DATA_BITS: u8 = 8;
 
 /// A single-channel-pair in-situ gradient unit: holds one input channel
 /// resident in bit-planes and computes weight gradients against supplied
@@ -105,10 +104,11 @@ impl HwGradientUnit {
                 self.h, self.w
             )));
         }
-        // Quantize δ with a signed differential encoding.
-        let levels = f32::from((1u16 << DATA_BITS) - 1);
+        // Quantize δ with a signed differential encoding (signed 8-bit:
+        // sign on the pos/neg pair, 7-bit magnitude — same convention as
+        // the forward engines' weights).
         let d_max = delta.data().iter().fold(0.0f32, |m, &v| m.max(v.abs())).max(1e-12);
-        let d_scale = d_max / levels;
+        let d_scale = d_max / weight_levels();
         let mut d_pos = vec![0u32; oh * ow];
         let mut d_neg = vec![0u32; oh * ow];
         for (i, &v) in delta.data().iter().enumerate() {
@@ -119,8 +119,8 @@ impl HwGradientUnit {
                 d_neg[i] = (-q) as u32;
             }
         }
-        let pos_planes = slice_to_bit_planes(&d_pos, DATA_BITS);
-        let neg_planes = slice_to_bit_planes(&d_neg, DATA_BITS);
+        let pos_planes = slice_to_bit_planes(&d_pos, WEIGHT_BITS);
+        let neg_planes = slice_to_bit_planes(&d_neg, WEIGHT_BITS);
         // Offset-correction term: Σδ (for the x_min offset of the codes).
         let delta_sum: f32 = delta.data().iter().sum();
 
@@ -138,8 +138,7 @@ impl HwGradientUnit {
                         acc += (i64::from(p) - i64::from(n)) << (db + xb);
                     }
                 }
-                *grad.at4_mut(0, 0, kh, kw) =
-                    acc as f32 * self.x_scale * d_scale + self.x_min * delta_sum;
+                *grad.at4_mut(0, 0, kh, kw) = acc as f32 * self.x_scale * d_scale + self.x_min * delta_sum;
             }
         }
         Ok(grad)
@@ -201,6 +200,17 @@ impl HwGradientUnit {
 ///
 /// Propagates [`crate::HwConv`] construction and execution errors.
 pub fn backprop_error_hw(delta_next: &Tensor, weights: &Tensor) -> Result<Tensor> {
+    backprop_error_hw_with(delta_next, weights, ExecPolicy::Sequential)
+}
+
+/// [`backprop_error_hw`] with an explicit [`ExecPolicy`] for the
+/// underlying [`crate::HwConv`] (the backward convolution fans output
+/// rows across workers exactly like the forward pass).
+///
+/// # Errors
+///
+/// Propagates [`crate::HwConv`] construction and execution errors.
+pub fn backprop_error_hw_with(delta_next: &Tensor, weights: &Tensor, policy: ExecPolicy) -> Result<Tensor> {
     if weights.shape().len() != 4 {
         return Err(Error::Config(format!("expected [N,C,k,k] weights, got {:?}", weights.shape())));
     }
@@ -217,7 +227,7 @@ pub fn backprop_error_hw(delta_next: &Tensor, weights: &Tensor) -> Result<Tensor
         }
     }
     // Full convolution = valid convolution with (k-1) zero padding.
-    let conv = crate::HwConv::from_float(&wt, &vec![0.0; c_ch], 1, k - 1)?;
+    let conv = crate::HwConv::from_float(&wt, &vec![0.0; c_ch], 1, k - 1)?.with_policy(policy);
     conv.forward(delta_next)
 }
 
@@ -229,10 +239,7 @@ mod tests {
 
     fn random_tensor(shape: &[usize], seed: u64, lo: f32, hi: f32) -> Tensor {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        Tensor::from_vec(
-            (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(lo..hi)).collect(),
-            shape,
-        )
+        Tensor::from_vec((0..shape.iter().product::<usize>()).map(|_| rng.gen_range(lo..hi)).collect(), shape)
     }
 
     /// The hardware weight gradient must match the float framework's
@@ -254,8 +261,7 @@ mod tests {
         // Extract grad_w via an SGD step of lr=1 from known weights.
         let before = conv.weights().data().to_vec();
         conv.sgd_step(1.0);
-        let reference: Vec<f32> =
-            before.iter().zip(conv.weights().data()).map(|(b, a)| b - a).collect();
+        let reference: Vec<f32> = before.iter().zip(conv.weights().data()).map(|(b, a)| b - a).collect();
 
         let unit = HwGradientUnit::program(&x2d).unwrap();
         let grad = unit.weight_gradient(&delta2d, k).unwrap();

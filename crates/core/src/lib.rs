@@ -29,6 +29,7 @@ mod accelerator;
 mod accuracy;
 mod comparison;
 mod error;
+pub mod exec;
 mod experiments;
 mod hw_batch;
 mod hw_exec;
@@ -39,11 +40,12 @@ pub use accelerator::Accelerator;
 pub use accuracy::{noise_accuracy_row, quantization_accuracy, AccuracyConfig, NoiseAccuracyRow};
 pub use comparison::{Comparison, RunReport};
 pub use error::Error;
+pub use exec::ExecPolicy;
 pub use experiments::{Experiment, ExperimentOpts, ExperimentResult};
 pub use hw_batch::HwBatchConv;
 pub use hw_exec::{HwConv, HwLinear, HwWsConv};
 pub use hw_network::{HwNetwork, HwStage};
-pub use hw_train::{backprop_error_hw, HwGradientUnit};
+pub use hw_train::{backprop_error_hw, backprop_error_hw_with, HwGradientUnit};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -71,7 +71,10 @@ impl SharedEnduranceTracker {
     /// # Errors
     ///
     /// Propagates serializer errors.
-    pub fn serialize_state<S: serde::Serializer>(&self, serializer: S) -> std::result::Result<S::Ok, S::Error> {
+    pub fn serialize_state<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
         self.inner.lock().serialize(serializer)
     }
 }

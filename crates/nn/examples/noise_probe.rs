@@ -28,7 +28,13 @@ fn main() {
         ("act 0.05", NoiseInjection::activations(0.05)),
     ] {
         let mut n = net(0, classes);
-        let mut t = Trainer::new(TrainConfig { epochs: 8, lr: 0.08, batch_size: 16, noise, ..TrainConfig::default() });
+        let mut t = Trainer::new(TrainConfig {
+            epochs: 8,
+            lr: 0.08,
+            batch_size: 16,
+            noise,
+            ..TrainConfig::default()
+        });
         let s = t.fit(&mut n, &ds, Loss::CrossEntropy);
         println!("{name:10} train {:.3} test {:.3}", s.final_train_accuracy, s.test_accuracy);
     }

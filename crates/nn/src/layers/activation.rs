@@ -190,7 +190,8 @@ mod smooth_activation_tests {
             xp.data_mut()[i] += eps;
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
-            let numeric = (Sigmoid::new().forward(&xp).sum() - Sigmoid::new().forward(&xm).sum()) / (2.0 * eps);
+            let numeric =
+                (Sigmoid::new().forward(&xp).sum() - Sigmoid::new().forward(&xm).sum()) / (2.0 * eps);
             assert!((numeric - g.data()[i]).abs() < 1e-4, "input {i}");
         }
     }

@@ -102,8 +102,7 @@ impl Layer for BatchNorm2d {
                 var[ci] = v / count;
                 self.running_mean[ci] =
                     (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
-                self.running_var[ci] =
-                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+                self.running_var[ci] = (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
             }
             (mean, var)
         } else {
@@ -271,8 +270,8 @@ mod tests {
             xp.data_mut()[xi] += eps;
             let mut xm = x.clone();
             xm.data_mut()[xi] -= eps;
-            let numeric =
-                (BatchNorm2d::new(2).forward(&xp).sum() - BatchNorm2d::new(2).forward(&xm).sum()) / (2.0 * eps);
+            let numeric = (BatchNorm2d::new(2).forward(&xp).sum() - BatchNorm2d::new(2).forward(&xm).sum())
+                / (2.0 * eps);
             assert!(
                 (numeric - grad_in.data()[xi]).abs() < 2e-2,
                 "input {xi}: numeric {numeric} vs analytic {}",

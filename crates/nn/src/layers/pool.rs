@@ -158,7 +158,10 @@ mod tests {
     #[test]
     fn max_pool_selects_maxima() {
         let mut p = MaxPool2d::new(2, 2);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0], &[1, 1, 4, 4]);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+            &[1, 1, 4, 4],
+        );
         let y = p.forward(&x);
         assert_eq!(y.data(), &[6.0, 8.0, 14.0, 16.0]);
     }
@@ -186,7 +189,8 @@ mod tests {
             xp.data_mut()[xi] += eps;
             let mut xm = x.clone();
             xm.data_mut()[xi] -= eps;
-            let numeric = (MaxPool2d::new(2, 2).forward(&xp).sum() - MaxPool2d::new(2, 2).forward(&xm).sum()) / (2.0 * eps);
+            let numeric = (MaxPool2d::new(2, 2).forward(&xp).sum() - MaxPool2d::new(2, 2).forward(&xm).sum())
+                / (2.0 * eps);
             assert!((numeric - grad_in.data()[xi]).abs() < 1e-3, "input {xi}");
         }
     }

@@ -75,8 +75,7 @@ impl Loss {
                     total += -(p_t.max(1e-12)).ln();
                     for c in 0..classes {
                         let p = exps[c] / z;
-                        grad.data_mut()[ni * classes + c] =
-                            (p - if c == t { 1.0 } else { 0.0 }) / n as f32;
+                        grad.data_mut()[ni * classes + c] = (p - if c == t { 1.0 } else { 0.0 }) / n as f32;
                     }
                 }
                 total /= n as f32;
@@ -103,7 +102,10 @@ impl Loss {
                 let pred = row
                     .iter()
                     .enumerate()
-                    .fold((0usize, f32::NEG_INFINITY), |(bi, bv), (i, &v)| if v > bv { (i, v) } else { (bi, bv) })
+                    .fold(
+                        (0usize, f32::NEG_INFINITY),
+                        |(bi, bv), (i, &v)| if v > bv { (i, v) } else { (bi, bv) },
+                    )
                     .0;
                 pred == t
             })

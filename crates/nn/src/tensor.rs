@@ -127,7 +127,11 @@ impl Tensor {
 
     fn idx4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
         let dims = self.dims4();
-        assert!(n < dims[0] && c < dims[1] && h < dims[2] && w < dims[3], "index ({n},{c},{h},{w}) out of bounds for {:?}", self.shape);
+        assert!(
+            n < dims[0] && c < dims[1] && h < dims[2] && w < dims[3],
+            "index ({n},{c},{h},{w}) out of bounds for {:?}",
+            self.shape
+        );
         ((n * dims[1] + c) * dims[2] + h) * dims[3] + w
     }
 

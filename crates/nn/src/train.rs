@@ -119,7 +119,13 @@ impl Trainer {
     /// Classification accuracy on the given sample indices, evaluated under
     /// the same noise/quantization regime as training (the paper evaluates
     /// the *in situ* accelerator, noise included).
-    pub fn evaluate(&mut self, net: &mut Network, dataset: &SyntheticDataset, indices: &[usize], rng: &mut StdRng) -> f32 {
+    pub fn evaluate(
+        &mut self,
+        net: &mut Network,
+        dataset: &SyntheticDataset,
+        indices: &[usize],
+        rng: &mut StdRng,
+    ) -> f32 {
         if indices.is_empty() {
             return 0.0;
         }

@@ -9,10 +9,7 @@ use rand::{Rng, SeedableRng};
 
 fn random_tensor(shape: &[usize], seed: u64) -> Tensor {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    Tensor::from_vec(
-        (0..shape.iter().product::<usize>()).map(|_| rng.gen_range(-1.0..1.0)).collect(),
-        shape,
-    )
+    Tensor::from_vec((0..shape.iter().product::<usize>()).map(|_| rng.gen_range(-1.0..1.0)).collect(), shape)
 }
 
 proptest! {

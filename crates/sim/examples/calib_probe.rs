@@ -2,7 +2,7 @@
 //! ratios for both architectures — used to calibrate the cost model.
 
 use inca_arch::ArchConfig;
-use inca_sim::{simulate_inference, simulate_training, format_energy_table};
+use inca_sim::{format_energy_table, simulate_inference, simulate_training};
 use inca_workloads::Model;
 
 fn main() {
@@ -15,8 +15,16 @@ fn main() {
         println!("== {m}");
         println!("{}", format_energy_table("  WS inf", &wi.energy));
         println!("{}", format_energy_table("  IS inf", &ii.energy));
-        println!("  inf ratio E {:.1}  speedup {:.1}", wi.energy.total_j()/ii.energy.total_j(), wi.latency_s/ii.latency_s);
-        println!("  tr  ratio E {:.1}  speedup {:.1}", wt.energy.total_j()/it.energy.total_j(), wt.latency_s/it.latency_s);
+        println!(
+            "  inf ratio E {:.1}  speedup {:.1}",
+            wi.energy.total_j() / ii.energy.total_j(),
+            wi.latency_s / ii.latency_s
+        );
+        println!(
+            "  tr  ratio E {:.1}  speedup {:.1}",
+            wt.energy.total_j() / it.energy.total_j(),
+            wt.latency_s / it.latency_s
+        );
         println!("{}", format_energy_table("  WS tr", &wt.energy));
         println!("{}", format_energy_table("  IS tr", &it.energy));
     }

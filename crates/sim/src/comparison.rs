@@ -48,7 +48,11 @@ impl Comparison {
     /// RTX).
     #[must_use]
     pub fn paper_default() -> Self {
-        Self { inca: ArchConfig::inca_paper(), baseline: ArchConfig::baseline_paper(), gpu: GpuModel::titan_rtx() }
+        Self {
+            inca: ArchConfig::inca_paper(),
+            baseline: ArchConfig::baseline_paper(),
+            gpu: GpuModel::titan_rtx(),
+        }
     }
 
     /// Access to the INCA configuration (for ablations).
@@ -135,7 +139,8 @@ mod tests {
     #[test]
     fn light_models_see_largest_gains() {
         let c = Comparison::paper_default();
-        let heavy_best = Model::heavy_suite().iter().map(|&m| c.run(m).training_energy_ratio).fold(0.0, f64::max);
+        let heavy_best =
+            Model::heavy_suite().iter().map(|&m| c.run(m).training_energy_ratio).fold(0.0, f64::max);
         for model in Model::light_suite() {
             let r = c.run(model);
             assert!(

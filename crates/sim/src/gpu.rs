@@ -33,8 +33,9 @@ impl GpuModel {
     #[must_use]
     pub fn training_step_s(&self, spec: &ModelSpec, batch: usize) -> f64 {
         let flops = 2.0 * spec.total_macs() as f64 * batch as f64 * 3.0;
-        let bytes =
-            (spec.param_count() as f64 * 3.0 + spec.activation_input_elems() as f64 * batch as f64 * 2.0) * 4.0;
+        let bytes = (spec.param_count() as f64 * 3.0
+            + spec.activation_input_elems() as f64 * batch as f64 * 2.0)
+            * 4.0;
         let compute = flops / (self.peak_flops * self.efficiency);
         let memory = bytes / self.bandwidth;
         compute.max(memory)

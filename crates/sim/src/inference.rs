@@ -234,7 +234,13 @@ fn simulate_ws(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> Netwo
     let latency_s = cycles_batch as f64 * config.array_read_latency_s();
     total.static_j = leakage_energy_j(config, cost, latency_s);
 
-    NetworkStats { dataflow: Dataflow::WeightStationary, batch: batch as usize, per_layer, energy: total, latency_s }
+    NetworkStats {
+        dataflow: Dataflow::WeightStationary,
+        batch: batch as usize,
+        per_layer,
+        energy: total,
+        latency_s,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -359,7 +365,13 @@ fn simulate_is(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> Netwo
     let latency_s = cycles_total as f64 * cycle_s;
     total.static_j = leakage_energy_j(config, cost, latency_s);
 
-    NetworkStats { dataflow: Dataflow::InputStationary, batch: batch as usize, per_layer, energy: total, latency_s }
+    NetworkStats {
+        dataflow: Dataflow::InputStationary,
+        batch: batch as usize,
+        per_layer,
+        energy: total,
+        latency_s,
+    }
 }
 
 #[cfg(test)]

@@ -37,9 +37,9 @@ pub mod access;
 mod comparison;
 mod energy;
 mod gpu;
-mod phases;
 mod inference;
 mod lifetime;
+mod phases;
 mod report;
 pub mod schedule;
 mod sweep;
@@ -48,9 +48,12 @@ mod training;
 pub use comparison::{Comparison, ComparisonReport};
 pub use energy::EnergyBreakdown;
 pub use gpu::GpuModel;
-pub use phases::{training_phases, TrainingPhases};
+pub use inference::{
+    is_layer_cycles, simulate_feedforward, simulate_inference, ws_layer_cycles, CostModel, LayerStats,
+    NetworkStats, Phase,
+};
 pub use lifetime::{training_lifetime, TrainingLifetime, IMAGENET_TRAIN_IMAGES};
-pub use inference::{is_layer_cycles, simulate_feedforward, simulate_inference, ws_layer_cycles, CostModel, LayerStats, NetworkStats, Phase};
+pub use phases::{training_phases, TrainingPhases};
 pub use report::{format_energy_table, format_ratio_table};
 pub use sweep::{paper_sweep, sweep_models, SweepPoint};
 pub use training::{simulate_training, training_breakdown};

@@ -60,11 +60,7 @@ impl TrainingPhases {
         if t == 0.0 {
             return [0.0; 3];
         }
-        [
-            self.feedforward.total_j() / t,
-            self.backward.total_j() / t,
-            self.weight_update.total_j() / t,
-        ]
+        [self.feedforward.total_j() / t, self.backward.total_j() / t, self.weight_update.total_j() / t]
     }
 }
 
@@ -95,8 +91,7 @@ fn ws_phases(config: &ArchConfig, spec: &ModelSpec) -> TrainingPhases {
 
     let per_image_cycles: u64 =
         spec.weighted_layers().map(|l| crate::inference::ws_layer_cycles(l, config)).sum();
-    let pass_latency =
-        (per_image_cycles * config.batch_size as u64) as f64 * config.array_read_latency_s();
+    let pass_latency = (per_image_cycles * config.batch_size as u64) as f64 * config.array_read_latency_s();
 
     let mut feedforward = fwd.energy;
     feedforward.static_j = crate::inference::leakage_energy_j(config, &cost, pass_latency);
@@ -170,9 +165,21 @@ mod tests {
             let phases = training_phases(&cfg, &spec);
             let merged = crate::simulate_training(&cfg, &spec);
             let rel = (phases.total_energy_j() - merged.energy.total_j()).abs() / merged.energy.total_j();
-            assert!(rel < 0.25, "{:?}: phases {} vs merged {}", cfg.dataflow, phases.total_energy_j(), merged.energy.total_j());
+            assert!(
+                rel < 0.25,
+                "{:?}: phases {} vs merged {}",
+                cfg.dataflow,
+                phases.total_energy_j(),
+                merged.energy.total_j()
+            );
             let lat_rel = (phases.total_latency_s() - merged.latency_s).abs() / merged.latency_s;
-            assert!(lat_rel < 0.25, "{:?}: latency {} vs {}", cfg.dataflow, phases.total_latency_s(), merged.latency_s);
+            assert!(
+                lat_rel < 0.25,
+                "{:?}: latency {} vs {}",
+                cfg.dataflow,
+                phases.total_latency_s(),
+                merged.latency_s
+            );
         }
     }
 

@@ -36,16 +36,10 @@ pub fn sweep_models(config: &ArchConfig, models: &[Model]) -> Vec<SweepPoint> {
             let tr_slot = &mut rest[0];
             scope.spawn(move |_| {
                 let spec = model.spec();
-                *inf_slot = Some(SweepPoint {
-                    model,
-                    training: false,
-                    stats: simulate_inference(config, &spec),
-                });
-                *tr_slot = Some(SweepPoint {
-                    model,
-                    training: true,
-                    stats: simulate_training(config, &spec),
-                });
+                *inf_slot =
+                    Some(SweepPoint { model, training: false, stats: simulate_inference(config, &spec) });
+                *tr_slot =
+                    Some(SweepPoint { model, training: true, stats: simulate_training(config, &spec) });
             });
         }
     })

@@ -60,10 +60,8 @@ fn training_ws(config: &ArchConfig, spec: &ModelSpec) -> NetworkStats {
     energy.array_j += (error_cells + weight_cells) * write_j;
 
     // Latency: three sequential passes per image, no batch pipelining.
-    let per_image_cycles: u64 = spec
-        .weighted_layers()
-        .map(|l| crate::inference::ws_layer_cycles(l, config))
-        .sum();
+    let per_image_cycles: u64 =
+        spec.weighted_layers().map(|l| crate::inference::ws_layer_cycles(l, config)).sum();
     let cycles = 3 * per_image_cycles * config.batch_size as u64;
     let latency_s = cycles as f64 * config.array_read_latency_s()
         // Weight rewrite at batch end: programming is row-parallel, one
@@ -164,8 +162,10 @@ mod tests {
         let spec = Model::Vgg16.spec();
         let inca_cfg = ArchConfig::inca_paper();
         let base_cfg = ArchConfig::baseline_paper();
-        let inf = simulate_inference(&base_cfg, &spec).latency_s / simulate_inference(&inca_cfg, &spec).latency_s;
-        let tr = simulate_training(&base_cfg, &spec).latency_s / simulate_training(&inca_cfg, &spec).latency_s;
+        let inf =
+            simulate_inference(&base_cfg, &spec).latency_s / simulate_inference(&inca_cfg, &spec).latency_s;
+        let tr =
+            simulate_training(&base_cfg, &spec).latency_s / simulate_training(&inca_cfg, &spec).latency_s;
         assert!(tr > inf, "training speedup {tr} vs inference {inf}");
     }
 

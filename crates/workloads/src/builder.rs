@@ -101,7 +101,15 @@ impl ModelBuilder {
 
     /// Appends a batch-normalization layer.
     pub fn bn_mut(&mut self) -> &mut Self {
-        let s = LayerSpec { kind: LayerKind::BatchNorm, cin: self.c, h: self.h, w: self.w, cout: self.c, oh: self.h, ow: self.w };
+        let s = LayerSpec {
+            kind: LayerKind::BatchNorm,
+            cin: self.c,
+            h: self.h,
+            w: self.w,
+            cout: self.c,
+            oh: self.h,
+            ow: self.w,
+        };
         self.layers.push(s);
         self
     }
@@ -114,7 +122,15 @@ impl ModelBuilder {
 
     /// Appends an activation layer (by-reference form).
     pub fn relu_mut(&mut self) -> &mut Self {
-        let s = LayerSpec { kind: LayerKind::Activation, cin: self.c, h: self.h, w: self.w, cout: self.c, oh: self.h, ow: self.w };
+        let s = LayerSpec {
+            kind: LayerKind::Activation,
+            cin: self.c,
+            h: self.h,
+            w: self.w,
+            cout: self.c,
+            oh: self.h,
+            ow: self.w,
+        };
         self.layers.push(s);
         self
     }
@@ -161,7 +177,15 @@ impl ModelBuilder {
 
     /// Appends a residual addition marker (no parameters; shape unchanged).
     pub fn residual_add_mut(&mut self) -> &mut Self {
-        let s = LayerSpec { kind: LayerKind::ResidualAdd, cin: self.c, h: self.h, w: self.w, cout: self.c, oh: self.h, ow: self.w };
+        let s = LayerSpec {
+            kind: LayerKind::ResidualAdd,
+            cin: self.c,
+            h: self.h,
+            w: self.w,
+            cout: self.c,
+            oh: self.h,
+            ow: self.w,
+        };
         self.layers.push(s);
         self
     }

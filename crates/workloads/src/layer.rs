@@ -136,9 +136,7 @@ impl LayerSpec {
     #[must_use]
     pub fn macs(&self) -> u64 {
         match self.kind {
-            LayerKind::Conv { k, groups, .. } => {
-                (k * k * self.cin / groups) as u64 * self.output_elems()
-            }
+            LayerKind::Conv { k, groups, .. } => (k * k * self.cin / groups) as u64 * self.output_elems(),
             LayerKind::Linear { .. } => self.input_elems() * self.cout as u64,
             _ => 0,
         }

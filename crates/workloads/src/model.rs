@@ -238,7 +238,9 @@ mod tests {
 
     #[test]
     fn cifar_variants_are_smaller() {
-        assert!(Model::Vgg16Cifar.spec().activation_input_elems() < Model::Vgg16.spec().activation_input_elems());
+        assert!(
+            Model::Vgg16Cifar.spec().activation_input_elems() < Model::Vgg16.spec().activation_input_elems()
+        );
         assert!(Model::ResNet18Cifar.spec().total_macs() < Model::ResNet18.spec().total_macs());
     }
 

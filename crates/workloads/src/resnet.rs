@@ -137,10 +137,8 @@ mod tests {
         let layers = resnet18(224);
         // The first downsample is the 64 -> 128 1x1 stride-2 conv with a
         // 56x56 input.
-        let ds = layers
-            .iter()
-            .find(|l| matches!(l.kind, crate::LayerKind::Conv { k: 1, stride: 2, .. }))
-            .unwrap();
+        let ds =
+            layers.iter().find(|l| matches!(l.kind, crate::LayerKind::Conv { k: 1, stride: 2, .. })).unwrap();
         assert_eq!((ds.cin, ds.h, ds.cout, ds.oh), (64, 56, 128, 28));
     }
 

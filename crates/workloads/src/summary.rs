@@ -41,13 +41,7 @@ pub fn summarize(spec: &ModelSpec) -> Vec<SummaryRow> {
                 LayerKind::GlobalAvgPool => "gap".to_string(),
                 LayerKind::ResidualAdd => "add".to_string(),
             };
-            SummaryRow {
-                index,
-                op,
-                output: (l.cout, l.oh, l.ow),
-                params: l.param_count(),
-                macs: l.macs(),
-            }
+            SummaryRow { index, op, output: (l.cout, l.oh, l.ow), params: l.param_count(), macs: l.macs() }
         })
         .collect()
 }

@@ -91,7 +91,10 @@ impl Crossbar2d {
             return Err(XbarError::ShapeMismatch { expected: format!("column < {}", self.cols), got: col });
         }
         if bits.len() != self.rows {
-            return Err(XbarError::ShapeMismatch { expected: format!("{} rows", self.rows), got: bits.len() });
+            return Err(XbarError::ShapeMismatch {
+                expected: format!("{} rows", self.rows),
+                got: bits.len(),
+            });
         }
         if let Some(&bad) = bits.iter().find(|&&b| b > 1) {
             return Err(XbarError::ValueOutOfRange { value: i64::from(bad), bits: 1 });
@@ -146,7 +149,10 @@ impl Crossbar2d {
     /// * [`XbarError::ValueOutOfRange`] for non-binary inputs.
     pub fn mvm_binary(&self, input: &[u8]) -> Result<Vec<u32>> {
         if input.len() != self.rows {
-            return Err(XbarError::ShapeMismatch { expected: format!("{} rows", self.rows), got: input.len() });
+            return Err(XbarError::ShapeMismatch {
+                expected: format!("{} rows", self.rows),
+                got: input.len(),
+            });
         }
         if let Some(&bad) = input.iter().find(|&&b| b > 1) {
             return Err(XbarError::ValueOutOfRange { value: i64::from(bad), bits: 1 });

@@ -48,10 +48,9 @@ impl fmt::Display for XbarError {
             XbarError::ShapeMismatch { expected, got } => {
                 write!(f, "shape mismatch: expected {expected}, got {got} elements")
             }
-            XbarError::WindowOutOfBounds { row, col, kh, kw, rows, cols } => write!(
-                f,
-                "window {kh}x{kw} at ({row}, {col}) exceeds array bounds {rows}x{cols}"
-            ),
+            XbarError::WindowOutOfBounds { row, col, kh, kw, rows, cols } => {
+                write!(f, "window {kh}x{kw} at ({row}, {col}) exceeds array bounds {rows}x{cols}")
+            }
             XbarError::PlaneOutOfBounds { plane, planes } => {
                 write!(f, "plane {plane} out of bounds for a stack of {planes} planes")
             }

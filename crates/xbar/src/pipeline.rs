@@ -128,10 +128,8 @@ mod tests {
     #[test]
     fn more_write_ports_recover_read_bound_throughput() {
         let slow = simulate_pipeline(&PipelineConfig::paper_default(), 1000);
-        let fast = simulate_pipeline(
-            &PipelineConfig { write_ports: 8, ..PipelineConfig::paper_default() },
-            1000,
-        );
+        let fast =
+            simulate_pipeline(&PipelineConfig { write_ports: 8, ..PipelineConfig::paper_default() }, 1000);
         assert!(fast.per_result_s < slow.per_result_s / 2.0);
     }
 

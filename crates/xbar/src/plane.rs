@@ -114,7 +114,10 @@ impl VerticalPlane {
     pub fn write_region(&mut self, row: usize, col: usize, h: usize, w: usize, bits: &[u8]) -> Result<()> {
         self.check_window(row, col, h, w)?;
         if bits.len() != h * w {
-            return Err(XbarError::ShapeMismatch { expected: format!("{h}x{w} = {} elements", h * w), got: bits.len() });
+            return Err(XbarError::ShapeMismatch {
+                expected: format!("{h}x{w} = {} elements", h * w),
+                got: bits.len(),
+            });
         }
         for i in 0..h {
             for j in 0..w {
@@ -144,7 +147,14 @@ impl VerticalPlane {
     ///
     /// * [`XbarError::WindowOutOfBounds`] if the window does not fit.
     /// * [`XbarError::ShapeMismatch`] if `kernel.len() != kh·kw`.
-    pub fn direct_conv_window(&self, row: usize, col: usize, kh: usize, kw: usize, kernel: &[u8]) -> Result<u32> {
+    pub fn direct_conv_window(
+        &self,
+        row: usize,
+        col: usize,
+        kh: usize,
+        kw: usize,
+        kernel: &[u8],
+    ) -> Result<u32> {
         self.check_window(row, col, kh, kw)?;
         if kernel.len() != kh * kw {
             return Err(XbarError::ShapeMismatch {
@@ -232,14 +242,7 @@ impl VerticalPlane {
 
     fn check_window(&self, row: usize, col: usize, kh: usize, kw: usize) -> Result<()> {
         if kh == 0 || kw == 0 || row + kh > self.rows || col + kw > self.cols {
-            return Err(XbarError::WindowOutOfBounds {
-                row,
-                col,
-                kh,
-                kw,
-                rows: self.rows,
-                cols: self.cols,
-            });
+            return Err(XbarError::WindowOutOfBounds { row, col, kh, kw, rows: self.rows, cols: self.cols });
         }
         Ok(())
     }
@@ -298,10 +301,7 @@ mod tests {
     #[test]
     fn kernel_shape_mismatch_rejected() {
         let p = plane_with(&[0; 16], 4, 4);
-        assert!(matches!(
-            p.direct_conv_window(0, 0, 2, 2, &[1, 1, 1]),
-            Err(XbarError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(p.direct_conv_window(0, 0, 2, 2, &[1, 1, 1]), Err(XbarError::ShapeMismatch { .. })));
     }
 
     #[test]
@@ -342,9 +342,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let p = plane_with(&[1, 1, 1, 0, 0, 0, 0, 0, 0], 3, 3);
         let k = [1u8; 9];
-        let i = p
-            .analog_conv_current(0, 0, 3, 3, &k, &params, &NoiseModel::none(), &mut rng)
-            .unwrap();
+        let i = p.analog_conv_current(0, 0, 3, 3, &k, &params, &NoiseModel::none(), &mut rng).unwrap();
         // 3 on-cells + 6 off-cells.
         let expected = 3.0 * params.read_voltage * params.g_on() + 6.0 * params.read_voltage * params.g_off();
         assert!((i - expected).abs() / expected < 1e-12);

@@ -91,7 +91,14 @@ pub fn output_dims(h: usize, w: usize, kh: usize, kw: usize, stride: usize) -> (
 
 /// Output dimensions with symmetric zero padding `pad` on each side.
 #[must_use]
-pub fn output_dims_padded(h: usize, w: usize, kh: usize, kw: usize, stride: usize, pad: usize) -> (usize, usize) {
+pub fn output_dims_padded(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
     output_dims(h + 2 * pad, w + 2 * pad, kh, kw, stride)
 }
 

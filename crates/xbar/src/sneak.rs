@@ -68,7 +68,11 @@ pub fn sneak_path_current(n: usize, structure: CellStructure, params: &DevicePar
             (n.saturating_sub(1)) as f64 * leak_per_cell
         }
     };
-    SneakPathEstimate { signal_a, sneak_a, sneak_ratio: if signal_a > 0.0 { sneak_a / signal_a } else { f64::INFINITY } }
+    SneakPathEstimate {
+        signal_a,
+        sneak_a,
+        sneak_ratio: if signal_a > 0.0 { sneak_a / signal_a } else { f64::INFINITY },
+    }
 }
 
 #[cfg(test)]

@@ -111,7 +111,14 @@ impl Stack3d {
     /// # Errors
     ///
     /// Propagates window and shape errors.
-    pub fn direct_conv_window(&self, row: usize, col: usize, kh: usize, kw: usize, kernel: &[u8]) -> Result<Vec<u32>> {
+    pub fn direct_conv_window(
+        &self,
+        row: usize,
+        col: usize,
+        kh: usize,
+        kw: usize,
+        kernel: &[u8],
+    ) -> Result<Vec<u32>> {
         self.planes.iter().map(|p| p.direct_conv_window(row, col, kh, kw, kernel)).collect()
     }
 
@@ -123,7 +130,14 @@ impl Stack3d {
     /// Propagates window and shape errors.
     pub fn direct_conv_full(&self, kh: usize, kw: usize, kernel: &[u8]) -> Result<Vec<Vec<u32>>> {
         if kh == 0 || kw == 0 || kh > self.rows || kw > self.cols {
-            return Err(XbarError::WindowOutOfBounds { row: 0, col: 0, kh, kw, rows: self.rows, cols: self.cols });
+            return Err(XbarError::WindowOutOfBounds {
+                row: 0,
+                col: 0,
+                kh,
+                kw,
+                rows: self.rows,
+                cols: self.cols,
+            });
         }
         let oh = self.rows - kh + 1;
         let ow = self.cols - kw + 1;

@@ -85,9 +85,7 @@ fn ws_multibit_conv(
     let mut out = Vec::new();
     for (r, c) in Windows::new(h, w, kh, kw, 1) {
         // Unroll the window.
-        let window: Vec<u32> = (0..kh)
-            .flat_map(|i| (0..kw).map(move |j| img[(r + i) * w + c + j]))
-            .collect();
+        let window: Vec<u32> = (0..kh).flat_map(|i| (0..kw).map(move |j| img[(r + i) * w + c + j])).collect();
         let x_planes = slice_to_bit_planes(&window, x_bits);
         let mut acc = 0u64;
         for (xb, xp) in x_planes.iter().enumerate() {

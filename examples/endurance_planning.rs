@@ -12,7 +12,10 @@ fn main() {
     let spec = Model::ResNet18.spec();
 
     println!("training lifetime at the Table II operating point (1e6-write cells):\n");
-    println!("{:<18} {:>16} {:>18} {:>16}", "dataflow", "writes/cell/step", "steps to wear-out", "ImageNet epochs");
+    println!(
+        "{:<18} {:>16} {:>18} {:>16}",
+        "dataflow", "writes/cell/step", "steps to wear-out", "ImageNet epochs"
+    );
     for cfg in [ArchConfig::inca_paper(), ArchConfig::baseline_paper()] {
         let lt = training_lifetime(&cfg, &spec);
         println!(
@@ -29,10 +32,7 @@ fn main() {
         let mut cfg = ArchConfig::inca_paper();
         cfg.device.endurance_writes *= factor;
         let lt = training_lifetime(&cfg, &spec);
-        println!(
-            "  {factor:>4}x endurance -> {:>8.1} ImageNet epochs",
-            lt.epochs_for(IMAGENET_TRAIN_IMAGES)
-        );
+        println!("  {factor:>4}x endurance -> {:>8.1} ImageNet epochs", lt.epochs_for(IMAGENET_TRAIN_IMAGES));
     }
 
     // Wear accounting at the plane level, with the thread-safe tracker the

@@ -56,10 +56,7 @@ fn main() -> Result<(), inca::Error> {
     // read cycle serves all planes.
     let w = Tensor::from_vec(conv.weights().data().to_vec(), &[1, 1, k, k]);
     let batch_conv = HwBatchConv::from_float(&w, &[0.0], 1, 0)?;
-    let batch = Tensor::from_vec(
-        (0..4 * h * h).map(|_| rng.gen_range(0.0..1.0)).collect(),
-        &[4, 1, h, h],
-    );
+    let batch = Tensor::from_vec((0..4 * h * h).map(|_| rng.gen_range(0.0..1.0)).collect(), &[4, 1, h, h]);
     let y = batch_conv.forward(&batch)?;
     println!(
         "3D batch forward: {} samples convolved by shared-pillar broadcasts -> output {:?}",

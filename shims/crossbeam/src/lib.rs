@@ -1,0 +1,83 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace; it is
+//! implemented on top of `std::thread::scope` (available since Rust
+//! 1.63), preserving crossbeam's `Result`-returning signature and the
+//! `FnOnce(&Scope) -> T` spawn closures.
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    /// A scope for spawning borrowing threads, wrapping [`std::thread::Scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a scoped thread, joining to `std::thread::Result`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning `Err` if it panicked.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the scope,
+        /// mirroring crossbeam (callers here all ignore it with `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Creates a scope in which borrowing threads can be spawned.
+    ///
+    /// Matches crossbeam's signature: returns `Ok(r)` on success. Panics in
+    /// child threads propagate when their handles are joined (or when the
+    /// scope itself unwinds), as with `std::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u32, 2, 3, 4];
+            let mut out = vec![0u32; 4];
+            super::scope(|scope| {
+                let mut handles = Vec::new();
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let data = &data;
+                    handles.push(scope.spawn(move |_| {
+                        *slot = data[i] * 10;
+                        i
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("worker panicked");
+                }
+            })
+            .expect("scope failed");
+            assert_eq!(out, vec![10, 20, 30, 40]);
+        }
+    }
+}

@@ -1,0 +1,519 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, so the
+//! workspace vendors the serde surface it uses. Serialization is
+//! modeled directly as conversion to a JSON-like [`Value`] tree
+//! (re-exported by the `serde_json` shim): [`Serialize::to_content`]
+//! is the object model, and [`Serializer`] is a thin adapter over it.
+//! [`Deserialize`] is a marker trait — nothing in the workspace
+//! actually deserializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value tree — the target of all serialization in the shim.
+///
+/// Lives here (not in `serde_json`) so derived impls and the blanket
+/// impls below can construct it; `serde_json` re-exports it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Map),
+}
+
+/// A JSON number: unsigned / signed integer or float, as in serde_json.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl Number {
+    /// Numeric value as `f64`.
+    #[must_use]
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::UInt(u) => u as f64,
+            Number::Int(i) => i as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// Value as `u64` if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::UInt(u) => Some(u),
+            Number::Int(i) => u64::try_from(i).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// Value as `i64` if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::UInt(u) => i64::try_from(u).ok(),
+            Number::Int(i) => Some(i),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// Insertion-ordered string-keyed map (`serde_json::Map` stand-in).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a key/value pair, replacing any existing value for the key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether a key is present.
+    #[must_use]
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl Value {
+    /// `f64` view of a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// `u64` view of a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// `i64` view of an integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is an object.
+    #[must_use]
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Whether this is an array.
+    #[must_use]
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this is a string.
+    #[must_use]
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Whether this is a number.
+    #[must_use]
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// Builds a `Value` from anything serializable (used by `json!`).
+    pub fn from_serialize<T: Serialize + ?Sized>(value: &T) -> Value {
+        value.to_content()
+    }
+}
+
+fn escape_json_str(s: &str, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    use std::fmt::Write;
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Number::UInt(u) => write!(f, "{u}"),
+            Number::Int(i) => write!(f, "{i}"),
+            Number::Float(x) => {
+                if !x.is_finite() {
+                    // serde_json maps non-finite floats to null.
+                    write!(f, "null")
+                } else if x == x.trunc() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Compact JSON, matching `serde_json`'s `Display` for `Value`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => escape_json_str(s, f),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(map) => {
+                write!(f, "{{")?;
+                for (i, (k, item)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    escape_json_str(k, f)?;
+                    write!(f, ":{item}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(key).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+/// Serializes a type into the shim's [`Value`] object model.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`] tree.
+    fn to_content(&self) -> Value;
+
+    /// serde-compatible entry point; feeds [`Self::to_content`] into the
+    /// serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        Self: Sized,
+    {
+        serializer.serialize_value(self.to_content())
+    }
+}
+
+/// Marker trait standing in for `serde::Deserialize`; the workspace
+/// only ever serializes.
+pub trait Deserialize {}
+
+/// Consumes a [`Value`] tree — the shim's whole serializer interface.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Serialization error type.
+    type Error;
+    /// Serializes an already-converted value tree.
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for Map {
+    fn to_content(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Value {
+                Value::Number(Number::UInt(*self as u64))
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 { Value::Number(Number::UInt(v as u64)) } else { Value::Number(Number::Int(v)) }
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_content(&self) -> Value {
+        let v = *self as i64;
+        if v >= 0 {
+            Value::Number(Number::UInt(v as u64))
+        } else {
+            Value::Number(Number::Int(v))
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Value {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Value {
+        match self {
+            Some(v) => v.to_content(),
+            None => Value::Null,
+        }
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_content()),+])
+            }
+        }
+    )*};
+}
+impl_serialize_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m = Map::new();
+        m.insert("a".into(), 1u32.to_content());
+        m.insert("a".into(), 2u32.to_content());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("a").and_then(Value::as_u64), Some(2));
+    }
+
+    #[test]
+    fn index_missing_is_null() {
+        let v = Value::Object(Map::new());
+        assert!(v["nope"].is_null());
+        assert!(v["nope"][3].is_null());
+    }
+
+    #[test]
+    fn tuple_serializes_as_array() {
+        let v = (1.5f64, 2.5f64).to_content();
+        assert_eq!(v[0].as_f64(), Some(1.5));
+        assert_eq!(v[1].as_f64(), Some(2.5));
+    }
+}

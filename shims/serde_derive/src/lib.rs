@@ -1,0 +1,203 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` by
+//! hand-parsing the item's token stream — no `syn`/`quote`, since the
+//! build environment cannot fetch crates. Supports exactly the shapes
+//! that appear in this workspace: non-generic named-field structs and
+//! non-generic enums with unit or named-field (struct) variants.
+//! Anything fancier panics with a clear message at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed skeleton of the item a derive is attached to.
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Enum: (variant name, fields) where `None` means a unit variant and
+    /// `Some(fields)` a struct variant.
+    Enum(Vec<(String, Option<Vec<String>>)>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut trees = input.into_iter().peekable();
+
+    // Skip attributes (`#[...]`, including expanded doc comments) and
+    // visibility qualifiers preceding the `struct`/`enum` keyword.
+    let is_enum = loop {
+        match trees.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the following `[...]` group.
+                let _ = trees.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                match s.as_str() {
+                    "pub" => {
+                        // `pub(crate)` carries a parenthesized scope.
+                        if let Some(TokenTree::Group(g)) = trees.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                let _ = trees.next();
+                            }
+                        }
+                    }
+                    "struct" => break false,
+                    "enum" => break true,
+                    other => panic!("serde_derive shim: unexpected token `{other}` before struct/enum"),
+                }
+            }
+            other => panic!("serde_derive shim: unexpected token {other:?} before struct/enum"),
+        }
+    };
+
+    let name = match trees.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+
+    let body = match trees.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generic type `{name}` is not supported")
+        }
+        other => panic!(
+            "serde_derive shim: `{name}` must have a braced body (tuple structs unsupported), got {other:?}"
+        ),
+    };
+
+    let kind = if is_enum {
+        ItemKind::Enum(parse_variants(body, &name))
+    } else {
+        ItemKind::Struct(parse_fields(body))
+    };
+    Item { name, kind }
+}
+
+/// Extracts field names from a named-field body: `attr* vis? name : type ,`.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        let field = loop {
+            match trees.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = trees.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = trees.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = trees.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("serde_derive shim: unexpected token {other:?} in field list"),
+            }
+        };
+        fields.push(field);
+        // Skip `: type` up to the next top-level comma.
+        for t in trees.by_ref() {
+            if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+}
+
+/// Extracts `(variant, fields?)` pairs from an enum body.
+fn parse_variants(body: TokenStream, enum_name: &str) -> Vec<(String, Option<Vec<String>>)> {
+    let mut variants = Vec::new();
+    let mut trees = body.into_iter().peekable();
+    loop {
+        let variant = loop {
+            match trees.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = trees.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                other => panic!("serde_derive shim: unexpected token {other:?} in enum `{enum_name}`"),
+            }
+        };
+        let fields = match trees.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                let _ = trees.next();
+                Some(parse_fields(inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple variant `{enum_name}::{variant}` is not supported")
+            }
+            _ => None,
+        };
+        variants.push((variant, fields));
+    }
+}
+
+/// `#[derive(Serialize)]`: generates a `to_content` that builds a
+/// `serde::Value` mirroring serde_json's externally-tagged layout.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(fields) => {
+            let mut s = String::from("let mut map = serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "map.insert(String::from(\"{f}\"), serde::Serialize::to_content(&self.{f}));\n"
+                ));
+            }
+            s.push_str("serde::Value::Object(map)");
+            s
+        }
+        ItemKind::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for (v, fields) in variants {
+                match fields {
+                    None => {
+                        s.push_str(&format!("{name}::{v} => serde::Value::String(String::from(\"{v}\")),\n"))
+                    }
+                    Some(fields) => {
+                        let pat = fields.join(", ");
+                        s.push_str(&format!("{name}::{v} {{ {pat} }} => {{\n"));
+                        s.push_str("let mut inner = serde::Map::new();\n");
+                        for f in fields {
+                            s.push_str(&format!(
+                                "inner.insert(String::from(\"{f}\"), serde::Serialize::to_content({f}));\n"
+                            ));
+                        }
+                        s.push_str("let mut map = serde::Map::new();\n");
+                        s.push_str(&format!(
+                            "map.insert(String::from(\"{v}\"), serde::Value::Object(inner));\n"
+                        ));
+                        s.push_str("serde::Value::Object(map)\n}\n");
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n fn to_content(&self) -> serde::Value {{\n {body}\n }}\n}}\n"
+    );
+    out.parse().expect("serde_derive shim: generated impl failed to parse")
+}
+
+/// `#[derive(Deserialize)]`: `Deserialize` is a marker trait in the serde
+/// shim, so the derive just emits the marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl serde::Deserialize for {} {{}}\n", item.name)
+        .parse()
+        .expect("serde_derive shim: generated impl failed to parse")
+}

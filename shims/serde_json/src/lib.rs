@@ -1,0 +1,126 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-exports the [`Value`]/[`Map`] object model from the serde shim and
+//! provides the `json!` macro, `Display`/pretty text output, and the
+//! small accessor surface the workspace uses.
+
+pub use serde::{Map, Number, Value};
+
+/// `serde_json::value` module shape, for `serde_json::value::Value` paths.
+pub mod value {
+    pub use serde::{Map, Number, Value};
+}
+
+/// JSON serialization error. The shim's object model is infallible, so
+/// this is only ever constructed by future fallible extensions.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Builds a [`Value`] from a literal-ish expression, mirroring
+/// `serde_json::json!`. Object and array forms accept flat expression
+/// values (every call site in this workspace is flat).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($v:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::Value::from_serialize(&$v)),* ])
+    };
+    ({ $($k:tt : $v:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(String::from($k), $crate::Value::from_serialize(&$v)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from_serialize(&$other) };
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    // `Display` for `Value` (in the serde shim) already escapes.
+    out.push_str(&Value::String(s.to_owned()).to_string());
+}
+
+fn write_pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                escape_into(k, out);
+                out.push_str(": ");
+                write_pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// Serializes to compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_content().to_string())
+}
+
+/// Serializes to human-readable JSON text with 2-space indentation.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_content(), 0, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({ "a": 1u32, "b": [1.0f64, 2.0f64], "c": "x" });
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"][1].as_f64(), Some(2.0));
+        assert!(v["c"] == "x");
+        assert!(json!(null).is_null());
+    }
+
+    #[test]
+    fn compact_and_pretty_text() {
+        let v = json!({ "k": [1u32, 2u32], "s": "he\"y" });
+        assert_eq!(to_string(&v).unwrap(), "{\"k\":[1,2],\"s\":\"he\\\"y\"}");
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\"k\": [\n"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(to_string(&json!(2.0f64)).unwrap(), "2.0");
+        assert_eq!(to_string(&json!(2.5f64)).unwrap(), "2.5");
+    }
+}

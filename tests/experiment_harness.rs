@@ -37,7 +37,8 @@ fn fig6_ws_memory_plus_static_dominates() {
             .iter()
             .map(|k| e[*k].as_f64().unwrap())
             .sum();
-        let mem = e["dram_j"].as_f64().unwrap() + e["buffer_j"].as_f64().unwrap() + e["static_j"].as_f64().unwrap();
+        let mem =
+            e["dram_j"].as_f64().unwrap() + e["buffer_j"].as_f64().unwrap() + e["static_j"].as_f64().unwrap();
         assert!(mem / total > 0.5, "{model}: memory+static share {}", mem / total);
     }
 }

@@ -23,7 +23,8 @@ fn train_float_model(dataset: &SyntheticDataset) -> FloatModel {
     net.push(layers::MaxPool2d::new(2, 2));
     net.push(layers::Flatten::new());
     net.push(layers::Linear::new(6 * (SIDE / 2) * (SIDE / 2), CLASSES, 6));
-    let mut trainer = Trainer::new(TrainConfig { epochs: 6, lr: 0.08, batch_size: 16, ..TrainConfig::default() });
+    let mut trainer =
+        Trainer::new(TrainConfig { epochs: 6, lr: 0.08, batch_size: 16, ..TrainConfig::default() });
     let stats = trainer.fit(&mut net, dataset, Loss::CrossEntropy);
     assert!(stats.test_accuracy > 0.7, "float model failed to learn: {}", stats.test_accuracy);
 
@@ -93,10 +94,9 @@ fn hardware_inference_matches_float_accuracy() {
     let mut model = train_float_model(&dataset);
 
     // Program the trained weights onto the simulated hardware.
-    let hw_conv = HwConv::from_float(model.conv.weights(), model.conv.bias().data(), 1, 1)
-        .expect("conv programs");
-    let hw_fc =
-        HwLinear::from_float(model.fc.weights(), model.fc.bias().data()).expect("fc programs");
+    let hw_conv =
+        HwConv::from_float(model.conv.weights(), model.conv.bias().data(), 1, 1).expect("conv programs");
+    let hw_fc = HwLinear::from_float(model.fc.weights(), model.fc.bias().data()).expect("fc programs");
 
     let (_, test_idx) = dataset.split(0.8);
     let mut float_correct = 0usize;
