@@ -61,6 +61,17 @@ fn hw_exec_benches(c: &mut Criterion) {
     conv_par.forward(&x).unwrap();
     let conv_par_cached = mean_ns(|| black_box(conv_par.forward(&x).unwrap()).len(), ITERS);
 
+    // Telemetry guardrail: the same cached forward with event recording
+    // enabled vs disabled. The disabled path costs one relaxed atomic
+    // load per record site, so the ratio should sit inside run-to-run
+    // noise; the recorded numbers keep that claim honest.
+    let telemetry_off_ns = mean_ns(|| black_box(conv_seq.forward(&x).unwrap()).len(), ITERS);
+    inca_telemetry::reset();
+    inca_telemetry::set_enabled(true);
+    let telemetry_on_ns = mean_ns(|| black_box(conv_seq.forward(&x).unwrap()).len(), ITERS);
+    inca_telemetry::set_enabled(false);
+    inca_telemetry::reset();
+
     // The batch engine: same layer over a batch of 8.
     let xb = random_tensor(&[8, 4, 16, 16], 103, -0.5, 1.0);
     let batch_seq = HwBatchConv::from_float(&w, &bias, 1, 1).unwrap();
@@ -99,6 +110,11 @@ fn hw_exec_benches(c: &mut Criterion) {
             "par_cached_ns": batch_par_cached,
             "cache_speedup": batch_seq_uncached / batch_seq_cached,
             "parallel_speedup": batch_seq_cached / batch_par_cached
+        }),
+        "telemetry": json!({
+            "conv_seq_cached_off_ns": telemetry_off_ns,
+            "conv_seq_cached_on_ns": telemetry_on_ns,
+            "on_over_off": telemetry_on_ns / telemetry_off_ns
         })
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hw_exec.json");
@@ -109,6 +125,10 @@ fn hw_exec_benches(c: &mut Criterion) {
     );
     eprintln!(
         "hw_batch_conv: seq_uncached {batch_seq_uncached:.0}ns seq_cached {batch_seq_cached:.0}ns par_cached {batch_par_cached:.0}ns"
+    );
+    eprintln!(
+        "telemetry: off {telemetry_off_ns:.0}ns on {telemetry_on_ns:.0}ns (x{:.3})",
+        telemetry_on_ns / telemetry_off_ns
     );
 
     // Criterion's own measurement pass over the same modes.
@@ -125,6 +145,12 @@ fn hw_exec_benches(c: &mut Criterion) {
     });
     group.bench_function("conv_par_cached", |b| {
         b.iter(|| black_box(conv_par.forward(&x).unwrap()).len());
+    });
+    group.bench_function("conv_telemetry_on", |b| {
+        inca_telemetry::set_enabled(true);
+        b.iter(|| black_box(conv_seq.forward(&x).unwrap()).len());
+        inca_telemetry::set_enabled(false);
+        inca_telemetry::reset();
     });
     group.bench_function("batch_seq_cached", |b| {
         b.iter(|| black_box(batch_seq.forward(&xb).unwrap()).len());

@@ -7,6 +7,7 @@
 use std::sync::Arc;
 
 use inca_nn::Tensor;
+use inca_telemetry::Event;
 use inca_xbar::quant::slice_to_bit_planes;
 use inca_xbar::sliding::output_dims_padded;
 use inca_xbar::Stack3d;
@@ -193,10 +194,13 @@ impl HwBatchConv {
                     && pb.x_scale.to_bits() == x_scale.to_bits()
                     && pb.codes == codes
                 {
+                    inca_telemetry::incr(Event::ProgramCacheHit);
                     return Ok(Arc::clone(pb));
                 }
             }
         }
+        inca_telemetry::incr(Event::ProgramCacheMiss);
+        let _span = inca_telemetry::span("hw_batch.program");
         // One stack per (channel, activation bit): padded H x W planes,
         // one plane per batch sample.
         let mut stacks: Vec<Vec<Stack3d>> = Vec::with_capacity(c);
@@ -236,6 +240,7 @@ impl HwBatchConv {
         if c != self.in_ch {
             return Err(Error::Config(format!("expected {} channels, got {c}", self.in_ch)));
         }
+        let _span = inca_telemetry::span("hw_batch.forward");
         let pb = self.program(x, b, c, h, w)?;
 
         let (oh, ow) = output_dims_padded(h, w, self.k, self.k, self.stride, self.pad);
@@ -252,6 +257,12 @@ impl HwBatchConv {
                     for (sign, w_planes) in
                         [(1i64, &self.w_pos_planes[o][ci]), (-1i64, &self.w_neg_planes[o][ci])]
                     {
+                        // One bit-serial cycle per (weight-bit, activation-
+                        // bit) pair — each serves the whole batch.
+                        inca_telemetry::record(
+                            Event::BitSerialCycle,
+                            (w_planes.len() * pb_ref.stacks[ci].len()) as u64,
+                        );
                         for (wb, wp) in w_planes.iter().enumerate() {
                             for (xb, stack) in pb_ref.stacks[ci].iter().enumerate() {
                                 // ONE broadcast read returns the whole

@@ -38,6 +38,7 @@
 use std::sync::Arc;
 
 use inca_nn::Tensor;
+use inca_telemetry::Event;
 use inca_xbar::quant::slice_to_bit_planes;
 use inca_xbar::sliding::output_dims_padded;
 use inca_xbar::{AdcReadout, Crossbar2d, VerticalPlane};
@@ -47,11 +48,11 @@ use crate::exec::{self, ExecPolicy};
 use crate::{Error, Result};
 
 /// Quantization width of activations (Table II: 8-bit codes).
-pub(crate) const DATA_BITS: u8 = 8;
+pub const DATA_BITS: u8 = 8;
 
 /// Bit-planes per weight *magnitude*: signed 8-bit weights carry their
 /// sign in the differential pair, leaving a 7-bit magnitude (0..=127).
-pub(crate) const WEIGHT_BITS: u8 = DATA_BITS - 1;
+pub const WEIGHT_BITS: u8 = DATA_BITS - 1;
 
 /// Largest representable weight magnitude code.
 pub(crate) fn weight_levels() -> f32 {
@@ -263,10 +264,13 @@ impl HwConv {
                     && pa.x_scale.to_bits() == x_scale.to_bits()
                     && pa.codes == codes
                 {
+                    inca_telemetry::incr(Event::ProgramCacheHit);
                     return Ok(Arc::clone(pa));
                 }
             }
         }
+        inca_telemetry::incr(Event::ProgramCacheMiss);
+        let _span = inca_telemetry::span("hw_conv.program");
         let partitions = (0..c)
             .map(|ci| self.partition_codes(&codes[ci * ph * pw..(ci + 1) * ph * pw], ph, pw))
             .collect::<Result<Vec<_>>>()?;
@@ -296,6 +300,7 @@ impl HwConv {
         if c != self.in_ch {
             return Err(Error::Config(format!("expected {} input channels, got {c}", self.in_ch)));
         }
+        let _span = inca_telemetry::span("hw_conv.forward");
         let pa = self.program(x, c, h, w)?;
         let (oh, ow) = output_dims_padded(h, w, self.k, self.k, self.stride, self.pad);
         let mut out = Tensor::zeros(&[1, self.out_ch, oh, ow]);
@@ -370,6 +375,8 @@ impl HwConv {
         w_planes: &[Vec<u8>],
     ) -> Result<i64> {
         let tile = find_tile(partitions, ry, rx, self.k)?;
+        // One bit-serial cycle per (weight-bit, activation-bit) pair.
+        inca_telemetry::record(Event::BitSerialCycle, (w_planes.len() * tile.planes.len()) as u64);
         let mut acc: i64 = 0;
         for (wb, wp) in w_planes.iter().enumerate() {
             for (xb, plane) in tile.planes.iter().enumerate() {
@@ -410,6 +417,7 @@ impl HwConv {
         if n != 1 || c != self.in_ch {
             return Err(Error::Config("forward_noisy executes one sample with matching channels".into()));
         }
+        let _span = inca_telemetry::span("hw_conv.forward_noisy");
         let pa = self.program(x, c, h, w)?;
 
         let unit = params.read_voltage * params.g_on();
@@ -425,6 +433,10 @@ impl HwConv {
                             [(1i64, &self.w_pos_planes[o][ci]), (-1i64, &self.w_neg_planes[o][ci])]
                         {
                             let tile = find_tile(partitions, ry, rx, self.k)?;
+                            inca_telemetry::record(
+                                Event::BitSerialCycle,
+                                (w_planes.len() * tile.planes.len()) as u64,
+                            );
                             for (wb, wp) in w_planes.iter().enumerate() {
                                 for (xb, plane) in tile.planes.iter().enumerate() {
                                     let current = plane.analog_conv_current(
@@ -644,7 +656,10 @@ impl HwLinear {
 
         let bits = usize::from(WEIGHT_BITS);
         let mut acc = vec![0i64; self.out_f];
+        let _span = inca_telemetry::span("hw_linear.forward");
         for (xb, xp) in x_planes.iter().enumerate() {
+            // One bit-serial cycle per activation bit per differential side.
+            inca_telemetry::record(Event::BitSerialCycle, 2);
             let p = self.pos.mvm_binary(xp)?;
             let n = self.neg.mvm_binary(xp)?;
             for o in 0..self.out_f {

@@ -18,6 +18,7 @@
 //! framework's `Conv2d` backward pass.
 
 use inca_nn::Tensor;
+use inca_telemetry::Event;
 use inca_xbar::quant::slice_to_bit_planes;
 use inca_xbar::VerticalPlane;
 
@@ -124,12 +125,18 @@ impl HwGradientUnit {
         // Offset-correction term: Σδ (for the x_min offset of the codes).
         let delta_sum: f32 = delta.data().iter().sum();
 
+        let _span = inca_telemetry::span("hw_train.weight_gradient");
         let mut grad = Tensor::zeros(&[k, k]);
         for kh in 0..k {
             for kw in 0..k {
                 // One δ-kernel window read at offset (kh, kw): Eq. 4's red
                 // box. δ spans OHxOW — larger than a weight kernel, but the
                 // 2T1R select lines gate any rectangle.
+                // Two reads (pos/neg δ) per (δ-bit, activation-bit) pair.
+                inca_telemetry::record(
+                    Event::BitSerialCycle,
+                    (2 * pos_planes.len() * self.planes.len()) as u64,
+                );
                 let mut acc: i64 = 0;
                 for (db, (pp, np)) in pos_planes.iter().zip(&neg_planes).enumerate() {
                     for (xb, plane) in self.planes.iter().enumerate() {
@@ -214,6 +221,7 @@ pub fn backprop_error_hw_with(delta_next: &Tensor, weights: &Tensor, policy: Exe
     if weights.shape().len() != 4 {
         return Err(Error::Config(format!("expected [N,C,k,k] weights, got {:?}", weights.shape())));
     }
+    let _span = inca_telemetry::span("hw_train.backprop_error");
     let [n_ch, c_ch, k, _] = weights.dims4();
     // Build the transposed kernel: W^T(c, n, kh, kw) = W(n, c, k-1-kh, k-1-kw).
     let mut wt = Tensor::zeros(&[c_ch, n_ch, k, k]);

@@ -43,7 +43,7 @@ pub use error::Error;
 pub use exec::ExecPolicy;
 pub use experiments::{Experiment, ExperimentOpts, ExperimentResult};
 pub use hw_batch::HwBatchConv;
-pub use hw_exec::{HwConv, HwLinear, HwWsConv};
+pub use hw_exec::{HwConv, HwLinear, HwWsConv, DATA_BITS, WEIGHT_BITS};
 pub use hw_network::{HwNetwork, HwStage};
 pub use hw_train::{backprop_error_hw, backprop_error_hw_with, HwGradientUnit};
 

@@ -1,0 +1,97 @@
+//! Telemetry determinism under the parallel execution engine: the
+//! sharded counters must report bit-identical totals whether a forward
+//! pass runs sequentially or fanned across any number of scoped worker
+//! threads — parallelism reorders the work but must not change the
+//! physics being counted.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use inca_core::{ExecPolicy, HwBatchConv, HwConv};
+use inca_nn::Tensor;
+use inca_telemetry::{Event, Snapshot};
+use rand::{Rng, SeedableRng};
+
+/// Tests in this binary mutate the process-global telemetry state.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    TELEMETRY_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn random_tensor(shape: &[usize], seed: u64, lo: f32, hi: f32) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Tensor::from_vec((0..shape.iter().product::<usize>()).map(|_| rng.gen_range(lo..hi)).collect(), shape)
+}
+
+/// Runs `f` with recording enabled and returns the counter totals.
+fn counted<F: FnOnce()>(f: F) -> Vec<(Event, u64)> {
+    inca_telemetry::reset();
+    inca_telemetry::set_enabled(true);
+    f();
+    inca_telemetry::set_enabled(false);
+    let counters = Snapshot::capture().counters();
+    inca_telemetry::reset();
+    counters
+}
+
+#[test]
+fn parallel_conv_counts_match_sequential_for_random_thread_counts() {
+    let _guard = serial();
+    let w = random_tensor(&[6, 3, 3, 3], 21, -0.5, 0.5);
+    let bias = vec![0.0f32; 6];
+    let x = random_tensor(&[1, 3, 12, 12], 22, -0.5, 1.0);
+    let seq = HwConv::from_float(&w, &bias, 1, 1).unwrap();
+    let baseline = counted(|| {
+        seq.forward(&x).unwrap();
+    });
+    assert!(baseline.iter().any(|&(_, n)| n > 0), "sequential run recorded nothing");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    for _ in 0..4 {
+        let threads = rng.gen_range(2..=16);
+        let par = seq.clone().with_policy(ExecPolicy::Parallel { threads });
+        // Clones share the activation cache; start cold like the baseline.
+        par.clear_cache();
+        let parallel = counted(|| {
+            par.forward(&x).unwrap();
+        });
+        assert_eq!(baseline, parallel, "totals diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn parallel_batch_conv_counts_match_sequential() {
+    let _guard = serial();
+    let w = random_tensor(&[4, 2, 3, 3], 31, -0.5, 0.5);
+    let bias = vec![0.0f32; 4];
+    let xb = random_tensor(&[4, 2, 10, 10], 32, -0.5, 1.0);
+    let seq = HwBatchConv::from_float(&w, &bias, 1, 1).unwrap();
+    let baseline = counted(|| {
+        seq.forward(&xb).unwrap();
+    });
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(33);
+    for _ in 0..3 {
+        let threads = rng.gen_range(2..=12);
+        let par = seq.clone().with_policy(ExecPolicy::Parallel { threads });
+        par.clear_cache();
+        let parallel = counted(|| {
+            par.forward(&xb).unwrap();
+        });
+        assert_eq!(baseline, parallel, "totals diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn disabled_recording_costs_no_counts() {
+    let _guard = serial();
+    let w = random_tensor(&[2, 2, 3, 3], 41, -0.5, 0.5);
+    let x = random_tensor(&[1, 2, 6, 6], 42, -0.5, 1.0);
+    let conv = HwConv::from_float(&w, &[0.0, 0.0], 1, 1).unwrap();
+
+    inca_telemetry::reset();
+    assert!(!inca_telemetry::enabled());
+    conv.forward(&x).unwrap();
+    let snap = Snapshot::capture();
+    assert_eq!(snap.total_events(), 0, "disabled telemetry must record nothing");
+}

@@ -72,6 +72,7 @@ impl EnduranceTracker {
     /// limit (the writes are still recorded, modelling continued degraded
     /// operation).
     pub fn record_writes(&mut self, index: usize, count: u64) -> Result<()> {
+        inca_telemetry::record(inca_telemetry::Event::EnduranceWrite, count);
         let w = &mut self.writes[index];
         *w += count;
         if *w > self.limit {
@@ -88,6 +89,7 @@ impl EnduranceTracker {
     /// Returns [`DeviceError::EnduranceExceeded`] if any unit passes the
     /// limit.
     pub fn record_uniform(&mut self, count: u64) -> Result<()> {
+        inca_telemetry::record(inca_telemetry::Event::EnduranceWrite, count * self.writes.len() as u64);
         let mut exceeded = None;
         for w in &mut self.writes {
             *w += count;

@@ -98,8 +98,15 @@ impl ProgrammingModel {
     ///
     /// More verify iterations shrink the programming error; zero iterations
     /// returns the raw nonlinear landing point.
+    ///
+    /// Records `1 + verify_steps` [`RramProgramPulse`] telemetry events:
+    /// the initial SET pulse plus one corrective pulse per verify
+    /// iteration.
+    ///
+    /// [`RramProgramPulse`]: inca_telemetry::Event::RramProgramPulse
     #[must_use]
     pub fn program_to(&self, target: f64, verify_steps: u32) -> f64 {
+        inca_telemetry::record(inca_telemetry::Event::RramProgramPulse, 1 + u64::from(verify_steps));
         let target = target.clamp(0.0, 1.0);
         // Raw landing point: invert the linear assumption through the SET curve.
         let mut g = self.set_curve(target);

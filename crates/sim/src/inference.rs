@@ -1,4 +1,5 @@
 use inca_arch::{mapping, ArchConfig, Dataflow};
+use inca_telemetry::Event;
 use inca_workloads::{LayerSpec, ModelSpec};
 use serde::{Deserialize, Serialize};
 
@@ -141,6 +142,7 @@ pub fn ws_layer_cycles(layer: &LayerSpec, config: &ArchConfig) -> u64 {
 }
 
 fn simulate_ws(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> NetworkStats {
+    let _span = inca_telemetry::span("sim.inference.ws");
     let batch = config.batch_size as u64;
     let bits = u64::from(config.data_bits);
     let engine = mapping::WsMapping::new(config);
@@ -173,6 +175,14 @@ fn simulate_ws(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> Netwo
         let dram_bytes = fetch_bytes * spill_in + save_bytes * spill_out;
         let buffer_beats =
             (fetch_beats as f64 * (1.0 - spill_in) + save_beats as f64 * (1.0 - spill_out)) as u64;
+
+        // The memory-system events the analytical model prices; the
+        // functional engines don't model buffers/DRAM, so the simulator
+        // contributes these counters itself.
+        inca_telemetry::record(Event::SramRead, (fetch_beats as f64 * (1.0 - spill_in)) as u64);
+        inca_telemetry::record(Event::SramWrite, (save_beats as f64 * (1.0 - spill_out)) as u64);
+        inca_telemetry::record(Event::DramReadByte, (fetch_bytes * spill_in) as u64);
+        inca_telemetry::record(Event::DramWriteByte, (save_bytes * spill_out) as u64);
 
         let mut e = EnergyBreakdown::zero();
         e.dram_j = config.dram.access_energy_j(dram_bytes as u64);
@@ -274,6 +284,7 @@ pub fn is_layer_cycles(layer: &LayerSpec, config: &ArchConfig) -> u64 {
 }
 
 fn simulate_is(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> NetworkStats {
+    let _span = inca_telemetry::span("sim.inference.is");
     let batch = config.batch_size as u64;
     let bits = u64::from(config.data_bits);
     let engine = mapping::IsMapping::new(config);
@@ -299,6 +310,9 @@ fn simulate_is(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> Netwo
         // buffer capacity for every evaluated model).
         let dram_bytes = layer.param_count() * bits / 8;
         e.dram_j = config.dram.access_energy_j(dram_bytes);
+        // IS moves only weights: buffer fetches + one DRAM stream per batch.
+        inca_telemetry::record(Event::SramRead, buffer_beats);
+        inca_telemetry::record(Event::DramReadByte, dram_bytes);
 
         // --- array events --------------------------------------------------
         // Reads: identical arithmetic to WS — every MAC touches one cell

@@ -36,6 +36,7 @@
 pub mod access;
 mod comparison;
 mod energy;
+pub mod events;
 mod gpu;
 mod inference;
 mod lifetime;
@@ -47,6 +48,7 @@ mod training;
 
 pub use comparison::{Comparison, ComparisonReport};
 pub use energy::EnergyBreakdown;
+pub use events::{conv_forward_events, ConvGeometry, FunctionalEvents};
 pub use gpu::GpuModel;
 pub use inference::{
     is_layer_cycles, simulate_feedforward, simulate_inference, ws_layer_cycles, CostModel, LayerStats,

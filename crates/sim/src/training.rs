@@ -35,6 +35,7 @@ pub fn simulate_training(config: &ArchConfig, spec: &ModelSpec) -> NetworkStats 
 }
 
 fn training_ws(config: &ArchConfig, spec: &ModelSpec) -> NetworkStats {
+    let _span = inca_telemetry::span("sim.training.ws");
     // Weights (and their transposed copies) are rewritten every batch, so
     // the weight traffic streams from DRAM.
     let cost = CostModel { ws_weight_stream_per_batch: 2.0, ..CostModel::default() };
@@ -79,6 +80,7 @@ fn training_ws(config: &ArchConfig, spec: &ModelSpec) -> NetworkStats {
 }
 
 fn training_is(config: &ArchConfig, spec: &ModelSpec) -> NetworkStats {
+    let _span = inca_telemetry::span("sim.training.is");
     let cost = CostModel::default();
     let fwd = simulate_feedforward(config, spec, &cost);
     let bits = f64::from(config.data_bits);

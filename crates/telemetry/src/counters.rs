@@ -1,0 +1,164 @@
+//! Lock-free sharded event counters.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disabled must be almost free.** The count sites live inside
+//!    [`inca-xbar`]'s window-read path — the innermost loop of the
+//!    functional engines — so the disabled path is a single relaxed
+//!    atomic load and a predictable branch.
+//! 2. **No contention across the worker pool.** `inca_core::exec` fans
+//!    output rows across scoped threads; counters are sharded per thread
+//!    (round-robin over a fixed shard table) so concurrent `fetch_add`s
+//!    land on different cache lines.
+//! 3. **Exact totals.** Every increment is an atomic RMW on one shard;
+//!    a quiescent snapshot (taken after workers join) sums shards and is
+//!    exact — the concurrency tests assert parallel runs count
+//!    identically to sequential ones.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crate::event::{Event, ALL_EVENTS, EVENT_COUNT};
+
+/// Number of counter shards. Threads are dealt shards round-robin; more
+/// threads than shards just share (still atomic, merely contended).
+const SHARD_COUNT: usize = 64;
+
+/// One cache-line-aligned block of per-event counters.
+#[repr(align(128))]
+struct Shard {
+    counts: [AtomicU64; EVENT_COUNT],
+}
+
+#[allow(clippy::declare_interior_mutable_const)] // const used only as array initializer
+const ZERO: AtomicU64 = AtomicU64::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const EMPTY_SHARD: Shard = Shard { counts: [ZERO; EVENT_COUNT] };
+
+static SHARDS: [Shard; SHARD_COUNT] = [EMPTY_SHARD; SHARD_COUNT];
+
+/// Global recording switch. Relaxed loads on the hot path; `SeqCst`
+/// store so an enable/disable is promptly visible to all threads.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Round-robin dealer for thread → shard assignment.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's shard slot, assigned on first use.
+    static MY_SHARD: usize = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARD_COUNT;
+}
+
+/// Turns event recording (counters, spans, trace events) on or off.
+///
+/// Telemetry starts **disabled**; enable it around the region you want to
+/// observe and capture a [`crate::Snapshot`] before and after. Counts
+/// recorded while enabled are retained until [`crate::reset`].
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Whether recording is currently enabled.
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Records `n` occurrences of `event`.
+///
+/// When telemetry is disabled this is one relaxed load and a branch.
+#[inline]
+pub fn record(event: Event, n: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    record_slow(event, n);
+}
+
+/// Records one occurrence of `event`.
+#[inline]
+pub fn incr(event: Event) {
+    record(event, 1);
+}
+
+#[cold]
+fn record_slow(event: Event, n: u64) {
+    let shard = MY_SHARD.with(|&s| s);
+    SHARDS[shard].counts[event.index()].fetch_add(n, Ordering::Relaxed);
+}
+
+/// Sums every shard into one dense counter block.
+pub(crate) fn totals() -> [u64; EVENT_COUNT] {
+    let mut out = [0u64; EVENT_COUNT];
+    for shard in &SHARDS {
+        for (slot, c) in out.iter_mut().zip(&shard.counts) {
+            *slot += c.load(Ordering::Relaxed);
+        }
+    }
+    out
+}
+
+/// Zeroes all counters. Callers should quiesce recording threads first;
+/// a reset concurrent with recording keeps the counters valid but the
+/// boundary between old and new counts is undefined.
+pub(crate) fn reset_counters() {
+    for shard in &SHARDS {
+        for c in &shard.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Current total for a single event (sum over shards).
+#[must_use]
+pub fn total(event: Event) -> u64 {
+    SHARDS.iter().map(|s| s.counts[event.index()].load(Ordering::Relaxed)).sum()
+}
+
+#[allow(dead_code)] // keeps ALL_EVENTS linked into the module for doc purposes
+const _: [Event; EVENT_COUNT] = ALL_EVENTS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::serial_guard;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = serial_guard();
+        crate::reset();
+        set_enabled(false);
+        record(Event::AdcConversion, 10);
+        assert_eq!(total(Event::AdcConversion), 0);
+    }
+
+    #[test]
+    fn enabled_counts_accumulate_and_reset() {
+        let _g = serial_guard();
+        crate::reset();
+        set_enabled(true);
+        record(Event::XbarReadPulse, 3);
+        incr(Event::XbarReadPulse);
+        set_enabled(false);
+        assert_eq!(total(Event::XbarReadPulse), 4);
+        crate::reset();
+        assert_eq!(total(Event::XbarReadPulse), 0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_exact() {
+        let _g = serial_guard();
+        crate::reset();
+        set_enabled(true);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..10_000 {
+                        incr(Event::DacDrive);
+                    }
+                });
+            }
+        });
+        set_enabled(false);
+        assert_eq!(total(Event::DacDrive), 80_000);
+    }
+}

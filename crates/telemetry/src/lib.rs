@@ -1,0 +1,76 @@
+//! Hardware event telemetry for the INCA simulation stack.
+//!
+//! Every energy/latency number in the paper is event accounting: how
+//! many ADC conversions, read pulses, programming pulses, and buffer /
+//! DRAM transactions happened, times a circuit constant. This crate is
+//! the recording substrate that lets the *functional* engines
+//! (`inca-xbar`, `inca-core`) report those events from real execution,
+//! so they can be profiled and cross-checked against the *analytical*
+//! model in `inca-sim`.
+//!
+//! Three pieces:
+//!
+//! * **Counters** ([`record`], [`incr`], [`Event`]) — lock-free,
+//!   sharded per thread, with a single-relaxed-load disabled path cheap
+//!   enough for the innermost crossbar read loop. Telemetry starts
+//!   **disabled**; call [`set_enabled`]`(true)` around the region of
+//!   interest.
+//! * **Spans** ([`span`]) — RAII wall-clock scopes with per-thread
+//!   parent nesting, aggregated into a tree and buffered as individual
+//!   trace events.
+//! * **Export** ([`Snapshot`], [`chrome_trace_json`]) — point-in-time
+//!   captures with a [`Snapshot::diff`] delta API, JSON and aligned
+//!   plain-text rendering, and a Chrome trace-event file for
+//!   `chrome://tracing` / Perfetto.
+//!
+//! The crate is deliberately **std-only**: every other crate in the
+//! workspace links it, and the count sites sit on hot paths.
+//!
+//! # Example
+//!
+//! ```
+//! use inca_telemetry as tel;
+//!
+//! tel::set_enabled(true);
+//! let before = tel::Snapshot::capture();
+//! {
+//!     let _phase = tel::span("conv.forward");
+//!     tel::record(tel::Event::XbarReadPulse, 128);
+//!     tel::incr(tel::Event::AdcConversion);
+//! }
+//! tel::set_enabled(false);
+//! let delta = tel::Snapshot::capture().diff(&before);
+//! assert_eq!(delta.get(tel::Event::XbarReadPulse), 128);
+//! println!("{}", delta.counter_table());
+//! # tel::reset();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod event;
+mod export;
+mod snapshot;
+mod span;
+
+pub use counters::{enabled, incr, record, set_enabled, total};
+pub use event::{Event, ALL_EVENTS, EVENT_COUNT};
+pub use export::chrome_trace_json;
+pub use snapshot::{reset, Snapshot};
+pub use span::{span, SpanGuard, SpanStats, TraceEvent, TRACE_CAPACITY};
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Telemetry state is global; tests that enable recording must not
+    //! interleave. Unit tests in this crate hold this guard.
+
+    use std::sync::{Mutex, MutexGuard};
+
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    /// Serializes telemetry-mutating tests within this test binary.
+    pub fn serial_guard() -> MutexGuard<'static, ()> {
+        SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}

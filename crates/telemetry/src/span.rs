@@ -1,0 +1,282 @@
+//! Scoped spans: RAII wall-clock timing with parent nesting.
+//!
+//! A [`SpanGuard`] marks a phase of engine execution (program / read /
+//! accumulate, training fwd/bwd/update, simulator phases). Guards nest
+//! per thread — a span opened while another is active on the same thread
+//! becomes its child — and on drop two records are made:
+//!
+//! * an **aggregate** update in the global span tree (count + total
+//!   duration per unique path), snapshotted by [`crate::Snapshot`], and
+//! * a **trace event** (name, thread, start, duration) appended to a
+//!   bounded buffer, exported by [`crate::chrome_trace_json`] in Chrome
+//!   trace-event format.
+//!
+//! Guards are intentionally `!Send`: a span times the thread it was
+//! opened on. Worker threads of the parallel engines record *counters*,
+//! not spans.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use crate::counters::enabled;
+
+/// Aggregated statistics for one span path (one node of the span tree).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Span name (static label passed to [`crate::span`]).
+    pub name: String,
+    /// Number of completed spans at this path.
+    pub count: u64,
+    /// Total wall-clock time across those spans, nanoseconds.
+    pub total_ns: u64,
+    /// Child spans (opened while this span was the innermost on its
+    /// thread), in first-seen order.
+    pub children: Vec<SpanStats>,
+}
+
+impl SpanStats {
+    /// Mean duration per completed span, nanoseconds.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// One completed span occurrence, for the Chrome trace export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span name.
+    pub name: &'static str,
+    /// Small dense per-thread id (Chrome's `tid`).
+    pub tid: u64,
+    /// Start time in microseconds since the telemetry epoch.
+    pub ts_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
+/// Upper bound on buffered trace events; completions past the cap are
+/// counted in [`dropped_trace_events`] instead of stored.
+pub const TRACE_CAPACITY: usize = 1 << 16;
+
+struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+static SPAN_TREE: Mutex<Vec<SpanStats>> = Mutex::new(Vec::new());
+static TRACE: Mutex<TraceBuffer> = Mutex::new(TraceBuffer { events: Vec::new(), dropped: 0 });
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+struct Frame {
+    id: u64,
+    name: &'static str,
+    start: Instant,
+}
+
+thread_local! {
+    static STACK: std::cell::RefCell<Vec<Frame>> = const { std::cell::RefCell::new(Vec::new()) };
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// RAII guard returned by [`crate::span`]; records the span on drop.
+#[must_use = "a span measures the scope it is bound to; binding to _ drops it immediately"]
+pub struct SpanGuard {
+    /// 0 means inert (telemetry was disabled at creation).
+    id: u64,
+    /// `!Send`: the span times the thread that opened it.
+    _not_send: PhantomData<*const ()>,
+}
+
+/// Opens a scoped span named `name`. Inert (and nearly free) while
+/// telemetry is disabled.
+///
+/// # Examples
+///
+/// ```
+/// inca_telemetry::set_enabled(true);
+/// {
+///     let _outer = inca_telemetry::span("phase");
+///     let _inner = inca_telemetry::span("step"); // child of "phase"
+/// }
+/// inca_telemetry::set_enabled(false);
+/// let snap = inca_telemetry::Snapshot::capture();
+/// assert_eq!(snap.spans()[0].name, "phase");
+/// assert_eq!(snap.spans()[0].children[0].name, "step");
+/// # inca_telemetry::reset();
+/// ```
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { id: 0, _not_send: PhantomData };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    // Materialize the epoch before the first span starts so ts offsets
+    // are non-negative.
+    let _ = epoch();
+    STACK.with(|s| s.borrow_mut().push(Frame { id, name, start: Instant::now() }));
+    SpanGuard { id, _not_send: PhantomData }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id == 0 {
+            return;
+        }
+        let end = Instant::now();
+        let Some((frame, path)) = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let pos = stack.iter().rposition(|f| f.id == self.id)?;
+            // Anything above `pos` was leaked (mem::forget) — discard it
+            // so nesting stays consistent.
+            stack.truncate(pos + 1);
+            let frame = stack.pop().expect("frame at pos");
+            let path: Vec<&'static str> = stack.iter().map(|f| f.name).collect();
+            Some((frame, path))
+        }) else {
+            return;
+        };
+        let dur = end.saturating_duration_since(frame.start);
+        record_aggregate(&path, frame.name, dur.as_nanos() as u64);
+        record_trace(frame.name, frame.start, dur);
+    }
+}
+
+fn record_aggregate(path: &[&'static str], name: &'static str, dur_ns: u64) {
+    let mut tree = lock(&SPAN_TREE);
+    let mut level = &mut *tree;
+    for segment in path {
+        let pos = match level.iter().position(|n| n.name == *segment) {
+            Some(p) => p,
+            None => {
+                level.push(SpanStats { name: (*segment).to_owned(), ..SpanStats::default() });
+                level.len() - 1
+            }
+        };
+        level = &mut level[pos].children;
+    }
+    let node = match level.iter_mut().find(|n| n.name == name) {
+        Some(n) => n,
+        None => {
+            level.push(SpanStats { name: name.to_owned(), ..SpanStats::default() });
+            level.last_mut().expect("just pushed")
+        }
+    };
+    node.count += 1;
+    node.total_ns += dur_ns;
+}
+
+fn record_trace(name: &'static str, start: Instant, dur: std::time::Duration) {
+    let ts_us = start.saturating_duration_since(epoch()).as_secs_f64() * 1e6;
+    let dur_us = dur.as_secs_f64() * 1e6;
+    let tid = TID.with(|&t| t);
+    let mut trace = lock(&TRACE);
+    if trace.events.len() >= TRACE_CAPACITY {
+        trace.dropped += 1;
+    } else {
+        trace.events.push(TraceEvent { name, tid, ts_us, dur_us });
+    }
+}
+
+/// A deep copy of the aggregated span tree (roots in first-seen order).
+#[must_use]
+pub fn span_tree() -> Vec<SpanStats> {
+    lock(&SPAN_TREE).clone()
+}
+
+/// A copy of the buffered trace events, in completion order.
+#[must_use]
+pub fn trace_events() -> Vec<TraceEvent> {
+    lock(&TRACE).events.clone()
+}
+
+/// Trace events discarded because the buffer hit [`TRACE_CAPACITY`].
+#[must_use]
+pub fn dropped_trace_events() -> u64 {
+    lock(&TRACE).dropped
+}
+
+/// Clears span aggregates and the trace buffer (counters are reset
+/// separately; use [`crate::reset`] for everything).
+pub(crate) fn reset_spans() {
+    lock(&SPAN_TREE).clear();
+    let mut trace = lock(&TRACE);
+    trace.events.clear();
+    trace.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::serial_guard;
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let _g = serial_guard();
+        crate::reset();
+        crate::set_enabled(true);
+        for _ in 0..3 {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        crate::set_enabled(false);
+        let tree = span_tree();
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].name, "outer");
+        assert_eq!(tree[0].count, 3);
+        assert_eq!(tree[0].children[0].name, "inner");
+        assert_eq!(tree[0].children[0].count, 3);
+        assert!(tree[0].total_ns >= tree[0].children[0].total_ns);
+        assert_eq!(trace_events().len(), 6);
+        crate::reset();
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _g = serial_guard();
+        crate::reset();
+        crate::set_enabled(false);
+        {
+            let _s = span("ghost");
+        }
+        assert!(span_tree().is_empty());
+        assert!(trace_events().is_empty());
+    }
+
+    #[test]
+    fn sibling_threads_get_separate_roots() {
+        let _g = serial_guard();
+        crate::reset();
+        crate::set_enabled(true);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _s = span("worker");
+            });
+            let _m = span("main");
+        });
+        crate::set_enabled(false);
+        let tree = span_tree();
+        let names: Vec<&str> = tree.iter().map(|n| n.name.as_str()).collect();
+        assert!(names.contains(&"worker") && names.contains(&"main"), "{names:?}");
+        // Distinct threads carry distinct tids in the trace.
+        let events = trace_events();
+        let tids: std::collections::BTreeSet<u64> = events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 2);
+        crate::reset();
+    }
+}

@@ -50,8 +50,14 @@ impl AdcReadout {
     }
 
     /// Quantizes an integer accumulation, saturating at the maximum code.
+    ///
+    /// Telemetry: one [`AdcConversion`](inca_telemetry::Event::AdcConversion)
+    /// per call — this is the single point where plane/window sums meet an
+    /// ADC, so conversions on the IS path are counted here rather than at
+    /// the read site.
     #[must_use]
     pub fn digitize(&self, count: u32) -> u32 {
+        inca_telemetry::incr(inca_telemetry::Event::AdcConversion);
         count.min(self.max_code())
     }
 

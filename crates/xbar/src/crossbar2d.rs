@@ -1,3 +1,4 @@
+use inca_telemetry::Event;
 use serde::{Deserialize, Serialize};
 
 use crate::{Result, XbarError};
@@ -103,6 +104,7 @@ impl Crossbar2d {
             self.cells[col * self.rows + r] = b;
         }
         self.writes += 1;
+        inca_telemetry::incr(Event::RramProgramPulse);
         Ok(())
     }
 
@@ -127,6 +129,7 @@ impl Crossbar2d {
             }
         }
         self.writes += 1;
+        inca_telemetry::incr(Event::RramProgramPulse);
         Ok(())
     }
 
@@ -143,11 +146,20 @@ impl Crossbar2d {
     /// One binary matrix-vector multiplication: drives `input` (0/1 per
     /// row), returns the per-column accumulated counts — one read cycle.
     ///
+    /// Telemetry: one [`Event::XbarReadPulse`], `rows`
+    /// [`Event::DacDrive`]s (every row line is driven), and `cols`
+    /// [`Event::AdcConversion`]s — the WS baseline digitizes every column
+    /// current each cycle, which is exactly the ADC-dominance the paper's
+    /// energy breakdown shows. Stays `&self` / `Send + Sync`.
+    ///
     /// # Errors
     ///
     /// * [`XbarError::ShapeMismatch`] if `input.len() != rows`.
     /// * [`XbarError::ValueOutOfRange`] for non-binary inputs.
     pub fn mvm_binary(&self, input: &[u8]) -> Result<Vec<u32>> {
+        inca_telemetry::incr(Event::XbarReadPulse);
+        inca_telemetry::record(Event::DacDrive, self.rows as u64);
+        inca_telemetry::record(Event::AdcConversion, self.cols as u64);
         if input.len() != self.rows {
             return Err(XbarError::ShapeMismatch {
                 expected: format!("{} rows", self.rows),

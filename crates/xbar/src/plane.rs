@@ -1,4 +1,5 @@
 use inca_device::{DeviceParams, NoiseModel};
+use inca_telemetry::Event;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -100,6 +101,7 @@ impl VerticalPlane {
         // One write pulse programs the whole plane simultaneously, but every
         // cell receives a pulse — endurance counts per-cell wear.
         self.writes += 1;
+        inca_telemetry::incr(Event::RramProgramPulse);
         Ok(())
     }
 
@@ -125,6 +127,7 @@ impl VerticalPlane {
             }
         }
         self.writes += 1;
+        inca_telemetry::incr(Event::RramProgramPulse);
         Ok(())
     }
 
@@ -143,11 +146,34 @@ impl VerticalPlane {
     /// (row-major, values 0/1) to the pillars, and returns the one-shot
     /// accumulated count `Σ w·x`.
     ///
+    /// Telemetry: one [`Event::XbarReadPulse`] plus `kh·kw`
+    /// [`Event::DacDrive`]s (one pillar driver per kernel position). The
+    /// downstream conversion is counted where the sum is digitized
+    /// ([`crate::AdcReadout::digitize`]), not here. The read path is
+    /// `&self` and stays `Send + Sync` — counters are global atomics.
+    ///
     /// # Errors
     ///
     /// * [`XbarError::WindowOutOfBounds`] if the window does not fit.
     /// * [`XbarError::ShapeMismatch`] if `kernel.len() != kh·kw`.
     pub fn direct_conv_window(
+        &self,
+        row: usize,
+        col: usize,
+        kh: usize,
+        kw: usize,
+        kernel: &[u8],
+    ) -> Result<u32> {
+        inca_telemetry::incr(Event::XbarReadPulse);
+        inca_telemetry::record(Event::DacDrive, (kh * kw) as u64);
+        self.conv_window_sum(row, col, kh, kw, kernel)
+    }
+
+    /// The uncounted window accumulation. [`crate::Stack3d`] reads every
+    /// plane through this and does its own event accounting, because its
+    /// pillar drivers are *shared* across the stack (one DAC set per
+    /// broadcast, not per plane).
+    pub(crate) fn conv_window_sum(
         &self,
         row: usize,
         col: usize,
@@ -211,6 +237,8 @@ impl VerticalPlane {
         noise: &NoiseModel,
         rng: &mut R,
     ) -> Result<f64> {
+        inca_telemetry::incr(Event::XbarReadPulse);
+        inca_telemetry::record(Event::DacDrive, (kh * kw) as u64);
         self.check_window(row, col, kh, kw)?;
         if kernel.len() != kh * kw {
             return Err(XbarError::ShapeMismatch {

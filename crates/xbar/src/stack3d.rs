@@ -1,3 +1,4 @@
+use inca_telemetry::Event;
 use serde::{Deserialize, Serialize};
 
 use crate::{Result, VerticalPlane, XbarError};
@@ -108,6 +109,12 @@ impl Stack3d {
     /// every plane returns its window accumulation. This is the 3D
     /// batch-parallel MAC — *one* read cycle for the entire batch.
     ///
+    /// Telemetry: the pillar drivers are shared, so only `kh·kw`
+    /// [`Event::DacDrive`]s are counted for the whole broadcast, but every
+    /// plane conducts and senses — `depth` [`Event::XbarReadPulse`]s and
+    /// `depth` [`Event::AdcConversion`]s (one per tied bottom electrode).
+    /// The latency win of the 3D stack is in cycles, not events.
+    ///
     /// # Errors
     ///
     /// Propagates window and shape errors.
@@ -119,7 +126,11 @@ impl Stack3d {
         kw: usize,
         kernel: &[u8],
     ) -> Result<Vec<u32>> {
-        self.planes.iter().map(|p| p.direct_conv_window(row, col, kh, kw, kernel)).collect()
+        let depth = self.planes.len() as u64;
+        inca_telemetry::record(Event::XbarReadPulse, depth);
+        inca_telemetry::record(Event::DacDrive, (kh * kw) as u64);
+        inca_telemetry::record(Event::AdcConversion, depth);
+        self.planes.iter().map(|p| p.conv_window_sum(row, col, kh, kw, kernel)).collect()
     }
 
     /// Convolves the kernel over every valid window position (stride 1) on
