@@ -1,22 +1,27 @@
-//! Sequential-vs-parallel (and cached-vs-uncached) benchmark of the
-//! hardware-functional execution engine, emitting a machine-readable
-//! `BENCH_hw_exec.json` artifact at the workspace root.
+//! Scalar-vs-packed (and cached-vs-uncached, sequential-vs-parallel)
+//! benchmark of the hardware-functional execution engine, emitting a
+//! machine-readable `BENCH_hw_exec.json` artifact at the workspace root.
 //!
-//! Three modes per engine:
+//! Modes per engine:
 //!
-//! * `seq_uncached` — sequential schedule, programmed-state cache cleared
+//! * `scalar_seq_cached` — per-cell byte-loop reads ([`ReadPath::Scalar`]),
+//!   sequential schedule, warm cache — the reference read model,
+//! * `seq_uncached`      — packed reads, programmed-state cache cleared
 //!   before every forward (the re-program-every-call baseline),
-//! * `seq_cached`   — sequential schedule, warm cache,
-//! * `par_cached`   — parallel schedule sized to the host, warm cache.
+//! * `seq_cached`        — packed reads, warm cache,
+//! * `par_cached`        — packed reads, warm cache, parallel schedule
+//!   with `par_workers` scoped workers.
 //!
-//! On a single-core host the parallel speedup degenerates to ~1x by
-//! construction; the recorded `host_threads` field makes that legible in
-//! the artifact.
+//! Honesty notes baked into the artifact: `host_threads` is the machine's
+//! actual available parallelism and `par_workers` the worker count the
+//! parallel mode really ran with (at least 4, so the schedule is
+//! exercised even on a single-core host — where oversubscription makes
+//! `parallel_speedup` ≲ 1x by construction).
 
 use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use inca_core::{ExecPolicy, HwBatchConv, HwConv};
+use inca_core::{ExecPolicy, HwBatchConv, HwConv, ReadPath};
 use inca_nn::Tensor;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
@@ -41,13 +46,18 @@ fn mean_ns<O, F: FnMut() -> O>(mut f: F, iters: u32) -> f64 {
 fn hw_exec_benches(c: &mut Criterion) {
     const ITERS: u32 = 5;
     let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    // Exercise the parallel schedule with at least 4 workers even on
+    // small hosts; the artifact records both numbers so a degenerate
+    // parallel_speedup stays explainable.
+    let par_workers = host_threads.max(4);
 
     // A mid-sized layer: 4 -> 8 channels, 3x3 on a 16x16 map.
     let w = random_tensor(&[8, 4, 3, 3], 101, -0.5, 0.5);
     let bias = vec![0.0f32; 8];
     let x = random_tensor(&[1, 4, 16, 16], 102, -0.5, 1.0);
-    let conv_seq = HwConv::from_float(&w, &bias, 1, 1).unwrap();
-    let conv_par = conv_seq.clone().with_policy(ExecPolicy::parallel());
+    let conv_seq = HwConv::from_float(&w, &bias, 1, 1).unwrap(); // packed by default
+    let conv_scalar = conv_seq.clone().with_policy(ExecPolicy::sequential().with_read_path(ReadPath::Scalar));
+    let conv_par = conv_seq.clone().with_policy(ExecPolicy::parallel_with(par_workers));
 
     let conv_seq_uncached = mean_ns(
         || {
@@ -58,13 +68,14 @@ fn hw_exec_benches(c: &mut Criterion) {
     );
     conv_seq.forward(&x).unwrap(); // warm the cache
     let conv_seq_cached = mean_ns(|| black_box(conv_seq.forward(&x).unwrap()).len(), ITERS);
-    conv_par.forward(&x).unwrap();
+    let conv_scalar_cached = mean_ns(|| black_box(conv_scalar.forward(&x).unwrap()).len(), ITERS);
     let conv_par_cached = mean_ns(|| black_box(conv_par.forward(&x).unwrap()).len(), ITERS);
 
-    // Telemetry guardrail: the same cached forward with event recording
-    // enabled vs disabled. The disabled path costs one relaxed atomic
-    // load per record site, so the ratio should sit inside run-to-run
-    // noise; the recorded numbers keep that claim honest.
+    // Telemetry guardrail: the same cached (packed) forward with event
+    // recording enabled vs disabled. The packed path coalesces each
+    // window burst into four `record()` calls, so the ratio should sit
+    // inside run-to-run noise; the recorded numbers keep that claim
+    // honest.
     let telemetry_off_ns = mean_ns(|| black_box(conv_seq.forward(&x).unwrap()).len(), ITERS);
     inca_telemetry::reset();
     inca_telemetry::set_enabled(true);
@@ -75,7 +86,9 @@ fn hw_exec_benches(c: &mut Criterion) {
     // The batch engine: same layer over a batch of 8.
     let xb = random_tensor(&[8, 4, 16, 16], 103, -0.5, 1.0);
     let batch_seq = HwBatchConv::from_float(&w, &bias, 1, 1).unwrap();
-    let batch_par = batch_seq.clone().with_policy(ExecPolicy::parallel());
+    let batch_scalar =
+        batch_seq.clone().with_policy(ExecPolicy::sequential().with_read_path(ReadPath::Scalar));
+    let batch_par = batch_seq.clone().with_policy(ExecPolicy::parallel_with(par_workers));
 
     let batch_seq_uncached = mean_ns(
         || {
@@ -86,28 +99,33 @@ fn hw_exec_benches(c: &mut Criterion) {
     );
     batch_seq.forward(&xb).unwrap();
     let batch_seq_cached = mean_ns(|| black_box(batch_seq.forward(&xb).unwrap()).len(), ITERS);
-    batch_par.forward(&xb).unwrap();
+    let batch_scalar_cached = mean_ns(|| black_box(batch_scalar.forward(&xb).unwrap()).len(), ITERS);
     let batch_par_cached = mean_ns(|| black_box(batch_par.forward(&xb).unwrap()).len(), ITERS);
 
     let artifact = json!({
         "benchmark": "hw_exec",
         "host_threads": host_threads,
+        "par_workers": par_workers,
         "iters_per_mode": ITERS,
         "workload": json!({
             "conv": "8x4x3x3 on 1x4x16x16, stride 1, pad 1",
             "batch_conv": "8x4x3x3 on 8x4x16x16, stride 1, pad 1"
         }),
         "hw_conv": json!({
+            "scalar_seq_cached_ns": conv_scalar_cached,
             "seq_uncached_ns": conv_seq_uncached,
             "seq_cached_ns": conv_seq_cached,
             "par_cached_ns": conv_par_cached,
+            "packed_over_scalar": conv_scalar_cached / conv_seq_cached,
             "cache_speedup": conv_seq_uncached / conv_seq_cached,
             "parallel_speedup": conv_seq_cached / conv_par_cached
         }),
         "hw_batch_conv": json!({
+            "scalar_seq_cached_ns": batch_scalar_cached,
             "seq_uncached_ns": batch_seq_uncached,
             "seq_cached_ns": batch_seq_cached,
             "par_cached_ns": batch_par_cached,
+            "packed_over_scalar": batch_scalar_cached / batch_seq_cached,
             "cache_speedup": batch_seq_uncached / batch_seq_cached,
             "parallel_speedup": batch_seq_cached / batch_par_cached
         }),
@@ -121,10 +139,12 @@ fn hw_exec_benches(c: &mut Criterion) {
     std::fs::write(path, serde_json::to_string_pretty(&artifact).unwrap()).unwrap();
     eprintln!("hw_exec artifact written to {path}");
     eprintln!(
-        "hw_conv: seq_uncached {conv_seq_uncached:.0}ns seq_cached {conv_seq_cached:.0}ns par_cached {conv_par_cached:.0}ns ({host_threads} threads)"
+        "hw_conv: scalar {conv_scalar_cached:.0}ns packed {conv_seq_cached:.0}ns (x{:.2}) par {conv_par_cached:.0}ns ({par_workers} workers on {host_threads} host threads)",
+        conv_scalar_cached / conv_seq_cached
     );
     eprintln!(
-        "hw_batch_conv: seq_uncached {batch_seq_uncached:.0}ns seq_cached {batch_seq_cached:.0}ns par_cached {batch_par_cached:.0}ns"
+        "hw_batch_conv: scalar {batch_scalar_cached:.0}ns packed {batch_seq_cached:.0}ns (x{:.2}) par {batch_par_cached:.0}ns",
+        batch_scalar_cached / batch_seq_cached
     );
     eprintln!(
         "telemetry: off {telemetry_off_ns:.0}ns on {telemetry_on_ns:.0}ns (x{:.3})",
@@ -134,6 +154,9 @@ fn hw_exec_benches(c: &mut Criterion) {
     // Criterion's own measurement pass over the same modes.
     let mut group = c.benchmark_group("hw_exec");
     group.sample_size(10);
+    group.bench_function("conv_scalar_seq_cached", |b| {
+        b.iter(|| black_box(conv_scalar.forward(&x).unwrap()).len());
+    });
     group.bench_function("conv_seq_uncached", |b| {
         b.iter(|| {
             conv_seq.clear_cache();

@@ -8,7 +8,7 @@ use inca_nn::{layers, Layer as _, Tensor};
 use inca_sim::{simulate_inference, simulate_training};
 use inca_workloads::Model;
 use inca_xbar::quant::bit_serial_dot;
-use inca_xbar::{Crossbar2d, Stack3d, VerticalPlane};
+use inca_xbar::{Crossbar2d, PackedKernel, Stack3d, VerticalPlane};
 use std::hint::black_box;
 
 fn xbar_kernels(c: &mut Criterion) {
@@ -29,6 +29,39 @@ fn xbar_kernels(c: &mut Criterion) {
             black_box(acc)
         });
     });
+
+    // Scalar byte-loop vs bit-packed word-parallel window sums, swept
+    // over kernel sizes on the paper's 16x16 plane (every valid window).
+    for k in [1usize, 3, 5, 7] {
+        let mut plane = VerticalPlane::paper_default();
+        let bits: Vec<u8> = (0..256).map(|i| ((i * 11) % 3 == 0) as u8).collect();
+        plane.write_bits(&bits).unwrap();
+        let kernel: Vec<u8> = (0..k * k).map(|i| ((i * 5) % 2) as u8).collect();
+        let span = 16 - k + 1;
+        group.bench_function(format!("plane_window_sum_scalar_k{k}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for r in 0..span {
+                    for col in 0..span {
+                        acc += plane.conv_window_sum(r, col, k, k, &kernel).unwrap();
+                    }
+                }
+                black_box(acc)
+            });
+        });
+        let packed = PackedKernel::pack(k, k, &kernel).unwrap();
+        group.bench_function(format!("plane_window_sum_packed_k{k}"), |b| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for r in 0..span {
+                    for col in 0..span {
+                        acc += plane.conv_window_sum_packed(r, col, &packed).unwrap();
+                    }
+                }
+                black_box(acc)
+            });
+        });
+    }
 
     group.bench_function("stack3d_batch64_conv", |b| {
         let mut stack = Stack3d::paper_default();

@@ -1,0 +1,69 @@
+//! CI perf smoke test: reads the `BENCH_hw_exec.json` artifact (written
+//! by the `hw_exec` bench) and asserts the two performance claims of the
+//! packed read path hold on the machine that produced it:
+//!
+//! 1. packed window reads are at least 2x faster than the scalar
+//!    byte-loop reference on the cached hw_conv workload (the bench
+//!    itself targets ≥ 3x; the smoke threshold leaves headroom for noisy
+//!    CI hosts),
+//! 2. enabling telemetry costs less than 1.5x on the packed path —
+//!    coalescing each window burst into four `record()` calls retired
+//!    the 1.69x overhead the per-read scheme used to pay.
+//!
+//! Exits non-zero with a diagnostic if either bound is violated, so a
+//! perf regression fails the pipeline instead of silently shipping.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hw_exec.json");
+    let raw = match std::fs::read_to_string(path) {
+        Ok(raw) => raw,
+        Err(e) => {
+            eprintln!("perf_smoke: cannot read {path}: {e}");
+            eprintln!("perf_smoke: run `cargo bench -p inca-bench --bench hw_exec` first");
+            return ExitCode::FAILURE;
+        }
+    };
+    let artifact: serde_json::Value = match serde_json::from_str(&raw) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("perf_smoke: {path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Missing keys index to `Null`, whose `as_f64()` is `None`.
+    let Some(packed_over_scalar) = artifact["hw_conv"]["packed_over_scalar"].as_f64() else {
+        eprintln!("perf_smoke: hw_conv.packed_over_scalar missing from {path} (stale artifact?)");
+        return ExitCode::FAILURE;
+    };
+    let Some(on_over_off) = artifact["telemetry"]["on_over_off"].as_f64() else {
+        eprintln!("perf_smoke: telemetry.on_over_off missing from {path}");
+        return ExitCode::FAILURE;
+    };
+
+    let mut failed = false;
+    if packed_over_scalar < 2.0 {
+        eprintln!(
+            "perf_smoke: FAIL packed_over_scalar = {packed_over_scalar:.2} < 2.0 — \
+             the packed read path lost its word-parallel advantage"
+        );
+        failed = true;
+    } else {
+        eprintln!("perf_smoke: ok packed_over_scalar = {packed_over_scalar:.2} (>= 2.0)");
+    }
+    if on_over_off >= 1.5 {
+        eprintln!(
+            "perf_smoke: FAIL telemetry on_over_off = {on_over_off:.3} >= 1.5 — \
+             per-window coalescing regressed toward the old 1.69x per-read overhead"
+        );
+        failed = true;
+    } else {
+        eprintln!("perf_smoke: ok telemetry on_over_off = {on_over_off:.3} (< 1.5)");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

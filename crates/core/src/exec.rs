@@ -11,13 +11,32 @@
 
 use crate::Result;
 
-/// How a hardware-functional forward pass schedules its output windows.
+/// Which window-read implementation a hardware-functional forward pass
+/// uses. Both compute identical bits; they differ only in simulator
+/// throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadPath {
+    /// Per-cell byte loops through
+    /// [`inca_xbar::VerticalPlane::conv_window_sum`] with per-read
+    /// telemetry — the reference model of the analog read.
+    Scalar,
+    /// Bit-packed word-parallel reads (shifted-mask AND + `count_ones`),
+    /// with each window's activation-bit words extracted once and reused
+    /// across every weight bit, output channel, and differential side,
+    /// and telemetry coalesced into one record per window burst. Totals
+    /// and outputs are bit-exact with [`ReadPath::Scalar`].
+    #[default]
+    Packed,
+}
+
+/// How a hardware-functional forward pass schedules its output windows
+/// across worker threads.
 ///
 /// The parallel schedule is *bit-exact* with the sequential one: every
 /// output element is an independent integer accumulation whose internal
 /// order is unchanged, only the order between elements differs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ExecPolicy {
+pub enum Schedule {
     /// One thread computes every output window in row-major order.
     #[default]
     Sequential,
@@ -28,19 +47,56 @@ pub enum ExecPolicy {
     },
 }
 
+/// The execution policy of a hardware-functional engine: a thread
+/// [`Schedule`] plus a window [`ReadPath`]. Both knobs are bit-exact
+/// with each other, so any combination produces identical tensors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecPolicy {
+    /// Worker-thread schedule for the output windows.
+    pub schedule: Schedule,
+    /// Window-read implementation.
+    pub read_path: ReadPath,
+}
+
 impl ExecPolicy {
+    /// The default policy: sequential schedule, packed reads.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Self::default()
+    }
+
     /// A parallel policy sized to the host's available parallelism.
     #[must_use]
     pub fn parallel() -> Self {
-        Self::Parallel { threads: std::thread::available_parallelism().map_or(1, usize::from) }
+        Self::parallel_with(std::thread::available_parallelism().map_or(1, usize::from))
+    }
+
+    /// A parallel policy with an explicit worker count.
+    #[must_use]
+    pub fn parallel_with(threads: usize) -> Self {
+        Self { schedule: Schedule::Parallel { threads }, ..Self::default() }
+    }
+
+    /// Returns the policy with the given read path.
+    #[must_use]
+    pub fn with_read_path(mut self, read_path: ReadPath) -> Self {
+        self.read_path = read_path;
+        self
+    }
+
+    /// Returns the policy with the given schedule.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = schedule;
+        self
     }
 
     /// The worker count this policy schedules onto.
     #[must_use]
     pub fn threads(self) -> usize {
-        match self {
-            Self::Sequential => 1,
-            Self::Parallel { threads } => threads.max(1),
+        match self.schedule {
+            Schedule::Sequential => 1,
+            Schedule::Parallel { threads } => threads.max(1),
         }
     }
 }
@@ -128,13 +184,13 @@ mod tests {
             .unwrap();
             data
         };
-        assert_eq!(fill(ExecPolicy::Sequential), fill(ExecPolicy::Parallel { threads: 4 }));
+        assert_eq!(fill(ExecPolicy::sequential()), fill(ExecPolicy::parallel_with(4)));
     }
 
     #[test]
     fn errors_propagate_from_workers() {
         let mut data = vec![0u8; 32];
-        let r = for_each_chunk(ExecPolicy::Parallel { threads: 3 }, &mut data, 4, |idx, _| {
+        let r = for_each_chunk(ExecPolicy::parallel_with(3), &mut data, 4, |idx, _| {
             if idx == 5 {
                 Err(crate::Error::Config("boom".into()))
             } else {
@@ -146,8 +202,19 @@ mod tests {
 
     #[test]
     fn policy_thread_counts() {
-        assert_eq!(ExecPolicy::Sequential.threads(), 1);
-        assert_eq!(ExecPolicy::Parallel { threads: 0 }.threads(), 1);
+        assert_eq!(ExecPolicy::sequential().threads(), 1);
+        assert_eq!(ExecPolicy::parallel_with(0).threads(), 1);
         assert!(ExecPolicy::parallel().threads() >= 1);
+    }
+
+    #[test]
+    fn policy_knobs_compose() {
+        let p = ExecPolicy::parallel_with(3).with_read_path(ReadPath::Scalar);
+        assert_eq!(p.threads(), 3);
+        assert_eq!(p.read_path, ReadPath::Scalar);
+        assert_eq!(ExecPolicy::default().read_path, ReadPath::Packed);
+        let s = p.with_schedule(Schedule::Sequential);
+        assert_eq!(s.threads(), 1);
+        assert_eq!(s.read_path, ReadPath::Scalar);
     }
 }

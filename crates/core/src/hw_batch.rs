@@ -8,18 +8,20 @@ use std::sync::Arc;
 
 use inca_nn::Tensor;
 use inca_telemetry::Event;
+use inca_xbar::packed::words_for;
 use inca_xbar::quant::slice_to_bit_planes;
 use inca_xbar::sliding::output_dims_padded;
-use inca_xbar::Stack3d;
+use inca_xbar::{window_dot_packed, PackedKernel, Stack3d};
 use parking_lot::Mutex;
 
-use crate::exec::{self, ExecPolicy};
-use crate::hw_exec::{weight_levels, DATA_BITS, WEIGHT_BITS};
+use crate::exec::{self, ExecPolicy, ReadPath};
+use crate::hw_exec::{weight_levels, KeyHasher, DATA_BITS, WEIGHT_BITS};
 use crate::{Error, Result};
 
 /// The programmed batch state: one stack per (channel, activation bit)
-/// holding every sample's padded bit-plane. Cached per layer and reused
-/// while the quantized batch is unchanged.
+/// holding every sample's padded bit-plane, keyed by a streamed hash of
+/// the quantized batch codes. Cached per layer and reused while the
+/// quantized batch is unchanged.
 #[derive(Debug)]
 struct ProgrammedBatch {
     b: usize,
@@ -27,8 +29,9 @@ struct ProgrammedBatch {
     w: usize,
     x_min: f32,
     x_scale: f32,
-    /// Padded codes, `[c][b][ph*pw]` flattened — the cache key payload.
-    codes: Vec<u32>,
+    /// [`KeyHasher`] digest of the geometry, dequantization range, and
+    /// quantized codes — the cache key.
+    key: u64,
     stacks: Vec<Vec<Stack3d>>,
 }
 
@@ -67,6 +70,10 @@ pub struct HwBatchConv {
     /// Kernel magnitude bit-planes: `[out][in][wbit][k*k]`.
     w_pos_planes: Vec<Vec<Vec<Vec<u8>>>>,
     w_neg_planes: Vec<Vec<Vec<Vec<u8>>>>,
+    /// The same bit-planes packed into word-parallel masks for
+    /// [`ReadPath::Packed`]: `[out][in][wbit]`.
+    w_pos_packed: Vec<Vec<Vec<PackedKernel>>>,
+    w_neg_packed: Vec<Vec<Vec<PackedKernel>>>,
     /// Per-output signed sum of weight codes (offset correction).
     kernel_code_sum: Vec<i64>,
     w_scale: f32,
@@ -97,10 +104,17 @@ impl HwBatchConv {
         let w_scale = w_max / weight_levels();
         let mut w_pos_planes = Vec::with_capacity(out_ch);
         let mut w_neg_planes = Vec::with_capacity(out_ch);
+        let mut w_pos_packed = Vec::with_capacity(out_ch);
+        let mut w_neg_packed = Vec::with_capacity(out_ch);
         let mut kernel_code_sum = vec![0i64; out_ch];
+        let pack_all = |planes: &[Vec<u8>]| -> Result<Vec<PackedKernel>> {
+            planes.iter().map(|p| Ok(PackedKernel::pack(k, k, p)?)).collect()
+        };
         for o in 0..out_ch {
             let mut pos_chan = Vec::with_capacity(in_ch);
             let mut neg_chan = Vec::with_capacity(in_ch);
+            let mut pos_chan_packed = Vec::with_capacity(in_ch);
+            let mut neg_chan_packed = Vec::with_capacity(in_ch);
             for c in 0..in_ch {
                 let mut pos = vec![0u32; k * k];
                 let mut neg = vec![0u32; k * k];
@@ -114,11 +128,17 @@ impl HwBatchConv {
                 }
                 kernel_code_sum[o] += pos.iter().map(|&v| i64::from(v)).sum::<i64>()
                     - neg.iter().map(|&v| i64::from(v)).sum::<i64>();
-                pos_chan.push(slice_to_bit_planes(&pos, WEIGHT_BITS));
-                neg_chan.push(slice_to_bit_planes(&neg, WEIGHT_BITS));
+                let pos_planes = slice_to_bit_planes(&pos, WEIGHT_BITS);
+                let neg_planes = slice_to_bit_planes(&neg, WEIGHT_BITS);
+                pos_chan_packed.push(pack_all(&pos_planes)?);
+                neg_chan_packed.push(pack_all(&neg_planes)?);
+                pos_chan.push(pos_planes);
+                neg_chan.push(neg_planes);
             }
             w_pos_planes.push(pos_chan);
             w_neg_planes.push(neg_chan);
+            w_pos_packed.push(pos_chan_packed);
+            w_neg_packed.push(neg_chan_packed);
         }
         Ok(Self {
             out_ch,
@@ -128,10 +148,12 @@ impl HwBatchConv {
             pad,
             w_pos_planes,
             w_neg_planes,
+            w_pos_packed,
+            w_neg_packed,
             kernel_code_sum,
             w_scale,
             bias: bias.to_vec(),
-            policy: ExecPolicy::Sequential,
+            policy: ExecPolicy::default(),
             cache: Arc::default(),
         })
     }
@@ -168,22 +190,31 @@ impl HwBatchConv {
         let x_max = x.data().iter().fold(0.0f32, |m, &v| m.max(v)).max(x_min + 1e-9);
         let x_scale = ((x_max - x_min) / levels).max(1e-12);
         let zero_code = ((-x_min / x_scale).round() as u32).min(levels as u32);
+        let quantize = |v: f32| -> u32 { (((v - x_min) / x_scale).round() as u32).min(levels as u32) };
 
         let ph = h + 2 * self.pad;
         let pw = w + 2 * self.pad;
-        let mut codes = vec![zero_code; c * b * ph * pw];
+        // Cache key: a streamed hash over the geometry, dequantization
+        // range, and interior quantized codes (the halo is fully
+        // determined by `zero_code` and `pad`). The hit path never
+        // materializes or compares the padded code vector.
+        let mut hasher = KeyHasher::new();
+        for dim in [b, c, h, w, self.pad] {
+            hasher.write(dim as u64);
+        }
+        hasher.write(u64::from(x_min.to_bits()));
+        hasher.write(u64::from(x_scale.to_bits()));
+        hasher.write(u64::from(zero_code));
         for ci in 0..c {
             for bi in 0..b {
-                let base = (ci * b + bi) * ph * pw;
                 for y in 0..h {
                     for xx in 0..w {
-                        let v = x.at4(bi, ci, y, xx);
-                        codes[base + (y + self.pad) * pw + xx + self.pad] =
-                            (((v - x_min) / x_scale).round() as u32).min(levels as u32);
+                        hasher.write(u64::from(quantize(x.at4(bi, ci, y, xx))));
                     }
                 }
             }
         }
+        let key = hasher.finish();
         {
             let cached = self.cache.lock();
             if let Some(pb) = cached.as_ref() {
@@ -192,7 +223,7 @@ impl HwBatchConv {
                     && pb.w == w
                     && pb.x_min.to_bits() == x_min.to_bits()
                     && pb.x_scale.to_bits() == x_scale.to_bits()
-                    && pb.codes == codes
+                    && pb.key == key
                 {
                     inca_telemetry::incr(Event::ProgramCacheHit);
                     return Ok(Arc::clone(pb));
@@ -201,6 +232,17 @@ impl HwBatchConv {
         }
         inca_telemetry::incr(Event::ProgramCacheMiss);
         let _span = inca_telemetry::span("hw_batch.program");
+        let mut codes = vec![zero_code; c * b * ph * pw];
+        for ci in 0..c {
+            for bi in 0..b {
+                let base = (ci * b + bi) * ph * pw;
+                for y in 0..h {
+                    for xx in 0..w {
+                        codes[base + (y + self.pad) * pw + xx + self.pad] = quantize(x.at4(bi, ci, y, xx));
+                    }
+                }
+            }
+        }
         // One stack per (channel, activation bit): padded H x W planes,
         // one plane per batch sample.
         let mut stacks: Vec<Vec<Stack3d>> = Vec::with_capacity(c);
@@ -218,7 +260,7 @@ impl HwBatchConv {
             }
             stacks.push(per_bit);
         }
-        let pb = Arc::new(ProgrammedBatch { b, h, w, x_min, x_scale, codes, stacks });
+        let pb = Arc::new(ProgrammedBatch { b, h, w, x_min, x_scale, key, stacks });
         *self.cache.lock() = Some(Arc::clone(&pb));
         Ok(pb)
     }
@@ -244,40 +286,11 @@ impl HwBatchConv {
         let pb = self.program(x, b, c, h, w)?;
 
         let (oh, ow) = output_dims_padded(h, w, self.k, self.k, self.stride, self.pad);
-        // Accumulators laid out `[(o, oy, ox)][bi]` so one (o, oy) row is
-        // a contiguous chunk a worker owns exclusively.
-        let mut accs = vec![0i64; self.out_ch * oh * ow * b];
         let pb_ref = &*pb;
-        exec::for_each_chunk(self.policy, &mut accs, ow * b, |idx, row| {
-            let (o, oy) = (idx / oh, idx % oh);
-            for ox in 0..ow {
-                let acc = &mut row[ox * b..(ox + 1) * b];
-                let (ry, rx) = (oy * self.stride, ox * self.stride);
-                for ci in 0..c {
-                    for (sign, w_planes) in
-                        [(1i64, &self.w_pos_planes[o][ci]), (-1i64, &self.w_neg_planes[o][ci])]
-                    {
-                        // One bit-serial cycle per (weight-bit, activation-
-                        // bit) pair — each serves the whole batch.
-                        inca_telemetry::record(
-                            Event::BitSerialCycle,
-                            (w_planes.len() * pb_ref.stacks[ci].len()) as u64,
-                        );
-                        for (wb, wp) in w_planes.iter().enumerate() {
-                            for (xb, stack) in pb_ref.stacks[ci].iter().enumerate() {
-                                // ONE broadcast read returns the whole
-                                // batch's partial sums.
-                                let sums = stack.direct_conv_window(ry, rx, self.k, self.k, wp)?;
-                                for (bi, &s) in sums.iter().enumerate() {
-                                    acc[bi] += sign * (i64::from(s) << (wb + xb));
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            Ok(())
-        })?;
+        let accs = match self.policy.read_path {
+            ReadPath::Scalar => self.accumulate_scalar(pb_ref, b, c, oh, ow)?,
+            ReadPath::Packed => self.accumulate_packed(pb_ref, b, c, oh, ow)?,
+        };
 
         let mut out = Tensor::zeros(&[b, self.out_ch, oh, ow]);
         for o in 0..self.out_ch {
@@ -293,6 +306,137 @@ impl HwBatchConv {
             }
         }
         Ok(out)
+    }
+
+    /// The reference read path: one scalar broadcast per (output, channel,
+    /// side, weight-bit, activation-bit), with per-broadcast telemetry.
+    /// Accumulators laid out `[(o, oy, ox)][bi]` so one (o, oy) row is a
+    /// contiguous chunk a worker owns exclusively.
+    fn accumulate_scalar(
+        &self,
+        pb: &ProgrammedBatch,
+        b: usize,
+        c: usize,
+        oh: usize,
+        ow: usize,
+    ) -> Result<Vec<i64>> {
+        let mut accs = vec![0i64; self.out_ch * oh * ow * b];
+        exec::for_each_chunk(self.policy, &mut accs, ow * b, |idx, row| {
+            let (o, oy) = (idx / oh, idx % oh);
+            for ox in 0..ow {
+                let acc = &mut row[ox * b..(ox + 1) * b];
+                let (ry, rx) = (oy * self.stride, ox * self.stride);
+                for ci in 0..c {
+                    for (sign, w_planes) in
+                        [(1i64, &self.w_pos_planes[o][ci]), (-1i64, &self.w_neg_planes[o][ci])]
+                    {
+                        // One bit-serial cycle per (weight-bit, activation-
+                        // bit) pair — each serves the whole batch.
+                        inca_telemetry::record(
+                            Event::BitSerialCycle,
+                            (w_planes.len() * pb.stacks[ci].len()) as u64,
+                        );
+                        for (wb, wp) in w_planes.iter().enumerate() {
+                            for (xb, stack) in pb.stacks[ci].iter().enumerate() {
+                                // ONE broadcast read returns the whole
+                                // batch's partial sums.
+                                let sums = stack.direct_conv_window(ry, rx, self.k, self.k, wp)?;
+                                for (bi, &s) in sums.iter().enumerate() {
+                                    acc[bi] += sign * (i64::from(s) << (wb + xb));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        Ok(accs)
+    }
+
+    /// The word-parallel read path: each window's activation-bit words are
+    /// extracted once per (channel, bit, sample) and reused across every
+    /// output channel, weight bit, and differential side.
+    ///
+    /// Telemetry is coalesced into one record per event kind per window
+    /// burst, with totals exactly the per-broadcast scheme's:
+    /// `out·in·2·WEIGHT_BITS·DATA_BITS` broadcasts per window, each one
+    /// [`Event::BitSerialCycle`] and `k²` [`Event::DacDrive`]s (pillar
+    /// drivers are shared), and `depth` [`Event::XbarReadPulse`]s plus
+    /// `depth` [`Event::AdcConversion`]s (every plane conducts and
+    /// senses). No ADC saturation — matching the scalar broadcast, whose
+    /// per-plane sums are used raw.
+    fn accumulate_packed(
+        &self,
+        pb: &ProgrammedBatch,
+        b: usize,
+        c: usize,
+        oh: usize,
+        ow: usize,
+    ) -> Result<Vec<i64>> {
+        let xbits = usize::from(DATA_BITS);
+        let wbits = usize::from(WEIGHT_BITS);
+        let kwords = self.k * words_for(self.k);
+        let broadcasts = (self.out_ch * c * 2 * wbits * xbits) as u64;
+        // Work in `[oy][ox][o][bi]` order so one extraction serves every
+        // output channel, then permute to the scalar layout below.
+        let mut window_major = vec![0i64; oh * ow * self.out_ch * b];
+        exec::for_each_chunk(self.policy, &mut window_major, ow * self.out_ch * b, |oy, row| {
+            // `[ci][xbit][bi]` slots of `kwords` words each.
+            let mut window = vec![0u64; c * xbits * b * kwords];
+            for ox in 0..ow {
+                let (ry, rx) = (oy * self.stride, ox * self.stride);
+                for ci in 0..c {
+                    for (xb, stack) in pb.stacks[ci].iter().enumerate() {
+                        for bi in 0..b {
+                            let slot = (((ci * xbits) + xb) * b + bi) * kwords;
+                            stack.plane(bi)?.extract_window(
+                                ry,
+                                rx,
+                                self.k,
+                                self.k,
+                                &mut window[slot..slot + kwords],
+                            )?;
+                        }
+                    }
+                }
+                inca_telemetry::record(Event::XbarReadPulse, broadcasts * b as u64);
+                inca_telemetry::record(Event::DacDrive, broadcasts * (self.k * self.k) as u64);
+                inca_telemetry::record(Event::AdcConversion, broadcasts * b as u64);
+                inca_telemetry::record(Event::BitSerialCycle, broadcasts);
+                for o in 0..self.out_ch {
+                    let acc = &mut row[(ox * self.out_ch + o) * b..(ox * self.out_ch + o + 1) * b];
+                    for ci in 0..c {
+                        for (sign, kernels) in
+                            [(1i64, &self.w_pos_packed[o][ci]), (-1i64, &self.w_neg_packed[o][ci])]
+                        {
+                            for (wb, kernel) in kernels.iter().enumerate() {
+                                for xb in 0..xbits {
+                                    let base = (((ci * xbits) + xb) * b) * kwords;
+                                    for bi in 0..b {
+                                        let words = &window[base + bi * kwords..base + (bi + 1) * kwords];
+                                        let s = window_dot_packed(words, kernel);
+                                        acc[bi] += sign * (i64::from(s) << (wb + xb));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        let mut accs = vec![0i64; self.out_ch * oh * ow * b];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for o in 0..self.out_ch {
+                    let src = ((oy * ow + ox) * self.out_ch + o) * b;
+                    let dst = ((o * oh + oy) * ow + ox) * b;
+                    accs[dst..dst + b].copy_from_slice(&window_major[src..src + b]);
+                }
+            }
+        }
+        Ok(accs)
     }
 }
 
@@ -354,8 +498,24 @@ mod tests {
         let w = random_tensor(&[2, 2, 3, 3], 63, -0.5, 0.5);
         let x = random_tensor(&[4, 2, 8, 8], 64, -0.4, 1.0);
         let seq = HwBatchConv::from_float(&w, &[0.1, -0.1], 1, 1).unwrap();
-        let par = seq.clone().with_policy(ExecPolicy::Parallel { threads: 4 });
+        let par = seq.clone().with_policy(ExecPolicy::parallel_with(4));
         assert_eq!(seq.forward(&x).unwrap().data(), par.forward(&x).unwrap().data());
+    }
+
+    #[test]
+    fn packed_read_path_is_bit_exact_with_scalar() {
+        use crate::ReadPath;
+        for (stride, pad) in [(1, 1), (2, 0)] {
+            let w = random_tensor(&[2, 2, 3, 3], 71 + stride as u64, -0.5, 0.5);
+            let x = random_tensor(&[3, 2, 9, 9], 72 + pad as u64, -0.6, 1.0);
+            let conv = HwBatchConv::from_float(&w, &[0.1, -0.2], stride, pad).unwrap();
+            let scalar = conv.clone().with_policy(ExecPolicy::sequential().with_read_path(ReadPath::Scalar));
+            assert_eq!(
+                conv.forward(&x).unwrap().data(),
+                scalar.forward(&x).unwrap().data(),
+                "stride {stride} pad {pad}"
+            );
+        }
     }
 
     #[test]

@@ -21,14 +21,22 @@
 //! without changing a single output bit:
 //!
 //! * kernel magnitude bit-planes are sliced **once at programming time**
-//!   (they are weight-stationary state) instead of per window read,
+//!   (they are weight-stationary state) instead of per window read, and
+//!   also packed into word-parallel masks for the
+//!   [`ReadPath::Packed`] read path,
 //! * the programmed input state — quantized bit-planes partitioned into
-//!   subarray tiles — is cached per layer, keyed on the quantized
-//!   activation codes, so repeated forwards of the same input (e.g. the
-//!   forward halves of a training step) write the planes once,
-//! * output windows are independent read bursts, so an
-//!   [`ExecPolicy::Parallel`] policy fans output rows across scoped
-//!   worker threads, bit-exact with the sequential schedule.
+//!   subarray tiles — is cached per layer, keyed on a streamed hash of
+//!   the quantized activation codes, so repeated forwards of the same
+//!   input (e.g. the forward halves of a training step) write the planes
+//!   once and the hit path never materializes the code vector,
+//! * output windows are independent read bursts, so a
+//!   [`crate::Schedule::Parallel`] policy fans output rows across scoped
+//!   worker threads, bit-exact with the sequential schedule,
+//! * the default [`ReadPath::Packed`] read path extracts each window's
+//!   activation-bit words **once** and reuses them across every weight
+//!   bit, output channel, and differential side, coalescing telemetry
+//!   into one record per event kind per window burst — totals and output
+//!   bits identical to the scalar per-read scheme.
 //!
 //! The test suite proves the hardware path classifies the synthetic task
 //! with (near-)float accuracy — the end-to-end functional validation of
@@ -39,12 +47,13 @@ use std::sync::Arc;
 
 use inca_nn::Tensor;
 use inca_telemetry::Event;
+use inca_xbar::packed::words_for;
 use inca_xbar::quant::slice_to_bit_planes;
 use inca_xbar::sliding::output_dims_padded;
-use inca_xbar::{AdcReadout, Crossbar2d, VerticalPlane};
+use inca_xbar::{window_dot_packed, AdcReadout, Crossbar2d, PackedKernel, VerticalPlane};
 use parking_lot::Mutex;
 
-use crate::exec::{self, ExecPolicy};
+use crate::exec::{self, ExecPolicy, ReadPath};
 use crate::{Error, Result};
 
 /// Quantization width of activations (Table II: 8-bit codes).
@@ -68,21 +77,44 @@ struct Partition {
     planes: Vec<VerticalPlane>, // one per activation bit
 }
 
-/// The programmed (input-stationary) state of one forward pass: padded
-/// activation codes and the subarray partitions holding their bit-planes.
-/// Cached per layer and reused while the quantized input is unchanged.
+/// The programmed (input-stationary) state of one forward pass: the
+/// subarray partitions holding the padded activation bit-planes, keyed by
+/// a streamed hash of the quantized codes. Cached per layer and reused
+/// while the quantized input is unchanged.
 #[derive(Debug)]
 struct ProgrammedActivation {
     h: usize,
     w: usize,
     x_min: f32,
     x_scale: f32,
-    /// Padded codes, `[c][ph*pw]` flattened — the cache key payload.
-    codes: Vec<u32>,
+    /// [`KeyHasher`] digest of the geometry, dequantization range, and
+    /// quantized codes — the cache key.
+    key: u64,
     partitions: Vec<Vec<Partition>>,
 }
 
 type ActivationCache = Arc<Mutex<Option<Arc<ProgrammedActivation>>>>;
+
+/// Streaming 64-bit mixer for activation-cache keys (FxHash-style
+/// rotate-xor-multiply). Not cryptographic — a collision merely serves a
+/// stale programmed state, and 2⁻⁶⁴ per lookup is far below the
+/// simulator's own float-roundtrip noise floor.
+#[derive(Debug, Clone)]
+pub(crate) struct KeyHasher(u64);
+
+impl KeyHasher {
+    pub(crate) fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
 
 /// A convolution layer programmed onto INCA hardware.
 ///
@@ -114,6 +146,10 @@ pub struct HwConv {
     /// `[out][in][wbit][k*k]`.
     w_pos_planes: Vec<Vec<Vec<Vec<u8>>>>,
     w_neg_planes: Vec<Vec<Vec<Vec<u8>>>>,
+    /// The same bit-planes packed into word-parallel masks for
+    /// [`ReadPath::Packed`]: `[out][in][wbit]`.
+    w_pos_packed: Vec<Vec<Vec<PackedKernel>>>,
+    w_neg_packed: Vec<Vec<Vec<PackedKernel>>>,
     /// Per-output signed sum of weight codes (offset correction).
     kernel_code_sum: Vec<i64>,
     w_scale: f32,
@@ -157,10 +193,17 @@ impl HwConv {
         };
         let mut w_pos_planes = Vec::with_capacity(out_ch);
         let mut w_neg_planes = Vec::with_capacity(out_ch);
+        let mut w_pos_packed = Vec::with_capacity(out_ch);
+        let mut w_neg_packed = Vec::with_capacity(out_ch);
         let mut kernel_code_sum = vec![0i64; out_ch];
+        let pack_all = |planes: &[Vec<u8>]| -> Result<Vec<PackedKernel>> {
+            planes.iter().map(|p| Ok(PackedKernel::pack(k, k, p)?)).collect()
+        };
         for o in 0..out_ch {
             let mut pos_chan = Vec::with_capacity(in_ch);
             let mut neg_chan = Vec::with_capacity(in_ch);
+            let mut pos_chan_packed = Vec::with_capacity(in_ch);
+            let mut neg_chan_packed = Vec::with_capacity(in_ch);
             for c in 0..in_ch {
                 let mut pos = vec![0u32; k * k];
                 let mut neg = vec![0u32; k * k];
@@ -171,11 +214,17 @@ impl HwConv {
                 }
                 kernel_code_sum[o] += pos.iter().map(|&v| i64::from(v)).sum::<i64>()
                     - neg.iter().map(|&v| i64::from(v)).sum::<i64>();
-                pos_chan.push(slice_to_bit_planes(&pos, WEIGHT_BITS));
-                neg_chan.push(slice_to_bit_planes(&neg, WEIGHT_BITS));
+                let pos_planes = slice_to_bit_planes(&pos, WEIGHT_BITS);
+                let neg_planes = slice_to_bit_planes(&neg, WEIGHT_BITS);
+                pos_chan_packed.push(pack_all(&pos_planes)?);
+                neg_chan_packed.push(pack_all(&neg_planes)?);
+                pos_chan.push(pos_planes);
+                neg_chan.push(neg_planes);
             }
             w_pos_planes.push(pos_chan);
             w_neg_planes.push(neg_chan);
+            w_pos_packed.push(pos_chan_packed);
+            w_neg_packed.push(neg_chan_packed);
         }
         Ok(Self {
             out_ch,
@@ -185,12 +234,14 @@ impl HwConv {
             pad,
             w_pos_planes,
             w_neg_planes,
+            w_pos_packed,
+            w_neg_packed,
             kernel_code_sum,
             w_scale,
             bias: bias.to_vec(),
             side: 16,
             adc: AdcReadout::new(4),
-            policy: ExecPolicy::Sequential,
+            policy: ExecPolicy::default(),
             cache: Arc::default(),
         })
     }
@@ -244,15 +295,25 @@ impl HwConv {
         let zero_code = quantize(0.0);
         let ph = h + 2 * self.pad;
         let pw = w + 2 * self.pad;
-        let mut codes = vec![zero_code; c * ph * pw];
+        // Cache key: a streamed hash over the geometry, dequantization
+        // range, and interior quantized codes (the halo is fully
+        // determined by `zero_code` and `pad`). The hit path never
+        // materializes or compares the padded code vector.
+        let mut hasher = KeyHasher::new();
+        for dim in [c, h, w, self.pad, self.side] {
+            hasher.write(dim as u64);
+        }
+        hasher.write(u64::from(x_min.to_bits()));
+        hasher.write(u64::from(x_scale.to_bits()));
+        hasher.write(u64::from(zero_code));
         for ci in 0..c {
-            let base = ci * ph * pw;
             for y in 0..h {
                 for xx in 0..w {
-                    codes[base + (y + self.pad) * pw + xx + self.pad] = quantize(x.at4(0, ci, y, xx));
+                    hasher.write(u64::from(quantize(x.at4(0, ci, y, xx))));
                 }
             }
         }
+        let key = hasher.finish();
         // Cache hit: the quantized input (and its dequantization range)
         // is unchanged, so the programmed bit-planes are still valid.
         {
@@ -262,7 +323,7 @@ impl HwConv {
                     && pa.w == w
                     && pa.x_min.to_bits() == x_min.to_bits()
                     && pa.x_scale.to_bits() == x_scale.to_bits()
-                    && pa.codes == codes
+                    && pa.key == key
                 {
                     inca_telemetry::incr(Event::ProgramCacheHit);
                     return Ok(Arc::clone(pa));
@@ -271,10 +332,19 @@ impl HwConv {
         }
         inca_telemetry::incr(Event::ProgramCacheMiss);
         let _span = inca_telemetry::span("hw_conv.program");
+        let mut codes = vec![zero_code; c * ph * pw];
+        for ci in 0..c {
+            let base = ci * ph * pw;
+            for y in 0..h {
+                for xx in 0..w {
+                    codes[base + (y + self.pad) * pw + xx + self.pad] = quantize(x.at4(0, ci, y, xx));
+                }
+            }
+        }
         let partitions = (0..c)
             .map(|ci| self.partition_codes(&codes[ci * ph * pw..(ci + 1) * ph * pw], ph, pw))
             .collect::<Result<Vec<_>>>()?;
-        let pa = Arc::new(ProgrammedActivation { h, w, x_min, x_scale, codes, partitions });
+        let pa = Arc::new(ProgrammedActivation { h, w, x_min, x_scale, key, partitions });
         *self.cache.lock() = Some(Arc::clone(&pa));
         Ok(pa)
     }
@@ -305,6 +375,23 @@ impl HwConv {
         let (oh, ow) = output_dims_padded(h, w, self.k, self.k, self.stride, self.pad);
         let mut out = Tensor::zeros(&[1, self.out_ch, oh, ow]);
         let pa = &*pa;
+        match self.policy.read_path {
+            ReadPath::Scalar => self.forward_scalar(pa, oh, ow, &mut out)?,
+            ReadPath::Packed => self.forward_packed(pa, oh, ow, &mut out)?,
+        }
+        Ok(out)
+    }
+
+    /// The reference read path: one scalar window read per (output,
+    /// channel, side, weight-bit, activation-bit), with per-read
+    /// telemetry.
+    fn forward_scalar(
+        &self,
+        pa: &ProgrammedActivation,
+        oh: usize,
+        ow: usize,
+        out: &mut Tensor,
+    ) -> Result<()> {
         exec::for_each_chunk(self.policy, out.data_mut(), ow, |idx, row| {
             let (o, oy) = (idx / oh, idx % oh);
             for (ox, slot) in row.iter_mut().enumerate() {
@@ -319,8 +406,91 @@ impl HwConv {
                     + self.bias[o];
             }
             Ok(())
+        })
+    }
+
+    /// The word-parallel read path: every window's activation-bit words
+    /// are extracted **once** and reused across all output channels,
+    /// weight bits, and both differential sides; each read is one
+    /// AND+popcount pass over `k · words_for(k)` words.
+    ///
+    /// Telemetry is coalesced into one [`inca_telemetry::record`] per
+    /// event kind per window burst. The burst totals are *exactly* the
+    /// per-read scheme's: `out·in·2·WEIGHT_BITS·DATA_BITS` reads, each
+    /// contributing one [`Event::XbarReadPulse`], one
+    /// [`Event::AdcConversion`], one [`Event::BitSerialCycle`], and `k²`
+    /// [`Event::DacDrive`]s. ADC saturation is applied as
+    /// `raw.min(max_code)` — the same arithmetic as
+    /// [`AdcReadout::digitize`] without its per-call event.
+    fn forward_packed(
+        &self,
+        pa: &ProgrammedActivation,
+        oh: usize,
+        ow: usize,
+        out: &mut Tensor,
+    ) -> Result<()> {
+        let wbits = usize::from(WEIGHT_BITS);
+        let xbits = usize::from(DATA_BITS);
+        let kwords = self.k * words_for(self.k);
+        let reads = (self.out_ch * self.in_ch * 2 * wbits * xbits) as u64;
+        let dac_drives = reads * (self.k * self.k) as u64;
+        let max_code = self.adc.max_code();
+        // Accumulate as `[oy][ox][o]` so one window's extraction serves
+        // every output channel; transposed into NCHW afterwards.
+        let mut accs = vec![0f32; oh * ow * self.out_ch];
+        exec::for_each_chunk(self.policy, &mut accs, ow * self.out_ch, |oy, row| {
+            // Window extraction buffer, reused across the row:
+            // `[ci][xbit]` slots of `kwords` words each.
+            let mut window = vec![0u64; self.in_ch * xbits * kwords];
+            for ox in 0..ow {
+                let (ry, rx) = (oy * self.stride, ox * self.stride);
+                for (ci, partitions) in pa.partitions.iter().enumerate() {
+                    let tile = find_tile(partitions, ry, rx, self.k)?;
+                    for (b, plane) in tile.planes.iter().enumerate() {
+                        let slot = (ci * xbits + b) * kwords;
+                        plane.extract_window(
+                            ry - tile.row0,
+                            rx - tile.col0,
+                            self.k,
+                            self.k,
+                            &mut window[slot..slot + kwords],
+                        )?;
+                    }
+                }
+                inca_telemetry::record(Event::XbarReadPulse, reads);
+                inca_telemetry::record(Event::DacDrive, dac_drives);
+                inca_telemetry::record(Event::AdcConversion, reads);
+                inca_telemetry::record(Event::BitSerialCycle, reads);
+                for o in 0..self.out_ch {
+                    let mut acc: i64 = 0;
+                    for ci in 0..self.in_ch {
+                        let x_words = &window[ci * xbits * kwords..(ci + 1) * xbits * kwords];
+                        for (sign, kernels) in
+                            [(1i64, &self.w_pos_packed[o][ci]), (-1i64, &self.w_neg_packed[o][ci])]
+                        {
+                            for (wb, kernel) in kernels.iter().enumerate() {
+                                for (xb, bits) in x_words.chunks_exact(kwords).enumerate() {
+                                    let code = window_dot_packed(bits, kernel).min(max_code);
+                                    acc += sign * (i64::from(code) << (wb + xb));
+                                }
+                            }
+                        }
+                    }
+                    row[ox * self.out_ch + o] = acc as f32 * pa.x_scale * self.w_scale
+                        + pa.x_min * self.w_scale * self.kernel_code_sum[o] as f32
+                        + self.bias[o];
+                }
+            }
+            Ok(())
         })?;
-        Ok(out)
+        for o in 0..self.out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    *out.at4_mut(0, o, oy, ox) = accs[(oy * ow + ox) * self.out_ch + o];
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Partitions one channel's padded codes into bit-plane tiles.
@@ -752,10 +922,38 @@ mod tests {
         let bias = [0.1f32, -0.2, 0.05];
         let x = random_tensor(&[1, 2, 11, 11], 42, -0.5, 1.0);
         let seq = HwConv::from_float(&w, &bias, 1, 1).unwrap();
-        let par = seq.clone().with_policy(ExecPolicy::Parallel { threads: 4 });
+        let par = seq.clone().with_policy(ExecPolicy::parallel_with(4));
         let y_seq = seq.forward(&x).unwrap();
         let y_par = par.forward(&x).unwrap();
         assert_eq!(y_seq.data(), y_par.data());
+    }
+
+    #[test]
+    fn packed_read_path_is_bit_exact_with_scalar() {
+        // Multi-partition (20x20 > 16x16 tile), strided, padded, with
+        // signed inputs so both differential sides are exercised.
+        for (stride, pad, hw_dim) in [(1, 1, 20), (2, 0, 13), (3, 2, 9)] {
+            let w = random_tensor(&[3, 2, 3, 3], 51 + stride as u64, -0.5, 0.5);
+            let bias = [0.1f32, -0.05, 0.2];
+            let x = random_tensor(&[1, 2, hw_dim, hw_dim], 61 + pad as u64, -0.7, 1.0);
+            let conv = HwConv::from_float(&w, &bias, stride, pad).unwrap();
+            let scalar = conv.clone().with_policy(ExecPolicy::sequential().with_read_path(ReadPath::Scalar));
+            let y_packed = conv.forward(&x).unwrap(); // default path is Packed
+            let y_scalar = scalar.forward(&x).unwrap();
+            assert_eq!(y_packed.data(), y_scalar.data(), "stride {stride} pad {pad}");
+        }
+    }
+
+    #[test]
+    fn packed_read_path_saturates_like_the_adc() {
+        // A 5x5 all-ones window sums 25 > the 4-bit ADC's max code of 15,
+        // so saturation fires; the packed path must clamp identically.
+        let mut w = Tensor::zeros(&[1, 1, 5, 5]);
+        w.data_mut().fill(0.9);
+        let x = Tensor::from_vec(vec![1.0; 100], &[1, 1, 10, 10]);
+        let conv = HwConv::from_float(&w, &[0.0], 1, 0).unwrap();
+        let scalar = conv.clone().with_policy(ExecPolicy::sequential().with_read_path(ReadPath::Scalar));
+        assert_eq!(conv.forward(&x).unwrap().data(), scalar.forward(&x).unwrap().data());
     }
 
     #[test]

@@ -19,10 +19,11 @@
 
 use inca_nn::Tensor;
 use inca_telemetry::Event;
+use inca_xbar::packed::words_for;
 use inca_xbar::quant::slice_to_bit_planes;
-use inca_xbar::VerticalPlane;
+use inca_xbar::{window_dot_packed, PackedKernel, VerticalPlane};
 
-use crate::exec::ExecPolicy;
+use crate::exec::{ExecPolicy, ReadPath};
 use crate::hw_exec::{weight_levels, DATA_BITS, WEIGHT_BITS};
 use crate::{Error, Result};
 
@@ -94,6 +95,23 @@ impl HwGradientUnit {
     /// Returns [`Error::Config`] when `delta`'s shape is inconsistent with
     /// a valid `k × k` convolution of the resident input.
     pub fn weight_gradient(&self, delta: &Tensor, k: usize) -> Result<Tensor> {
+        self.weight_gradient_with(delta, k, ReadPath::Packed)
+    }
+
+    /// [`HwGradientUnit::weight_gradient`] with an explicit [`ReadPath`].
+    ///
+    /// The packed path packs each δ bit-plane once (it is reused across
+    /// all `k²` gradient positions), extracts each window's activation
+    /// words once per activation bit, and coalesces telemetry into one
+    /// record per event kind per gradient position — totals exactly the
+    /// per-read scheme's (`2·bits²` reads per position, each one
+    /// [`Event::XbarReadPulse`] and `OH·OW` DAC drives; the gradient read
+    /// never digitizes, so neither path counts ADC conversions).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HwGradientUnit::weight_gradient`].
+    pub fn weight_gradient_with(&self, delta: &Tensor, k: usize, read_path: ReadPath) -> Result<Tensor> {
         if delta.shape().len() != 2 {
             return Err(Error::Config(format!("expected [OH, OW] errors, got {:?}", delta.shape())));
         }
@@ -127,25 +145,66 @@ impl HwGradientUnit {
 
         let _span = inca_telemetry::span("hw_train.weight_gradient");
         let mut grad = Tensor::zeros(&[k, k]);
-        for kh in 0..k {
-            for kw in 0..k {
-                // One δ-kernel window read at offset (kh, kw): Eq. 4's red
-                // box. δ spans OHxOW — larger than a weight kernel, but the
-                // 2T1R select lines gate any rectangle.
-                // Two reads (pos/neg δ) per (δ-bit, activation-bit) pair.
-                inca_telemetry::record(
-                    Event::BitSerialCycle,
-                    (2 * pos_planes.len() * self.planes.len()) as u64,
-                );
-                let mut acc: i64 = 0;
-                for (db, (pp, np)) in pos_planes.iter().zip(&neg_planes).enumerate() {
-                    for (xb, plane) in self.planes.iter().enumerate() {
-                        let p = plane.direct_conv_window(kh, kw, oh, ow, pp)?;
-                        let n = plane.direct_conv_window(kh, kw, oh, ow, np)?;
-                        acc += (i64::from(p) - i64::from(n)) << (db + xb);
+        match read_path {
+            ReadPath::Scalar => {
+                for kh in 0..k {
+                    for kw in 0..k {
+                        // One δ-kernel window read at offset (kh, kw): Eq. 4's red
+                        // box. δ spans OHxOW — larger than a weight kernel, but the
+                        // 2T1R select lines gate any rectangle.
+                        // Two reads (pos/neg δ) per (δ-bit, activation-bit) pair.
+                        inca_telemetry::record(
+                            Event::BitSerialCycle,
+                            (2 * pos_planes.len() * self.planes.len()) as u64,
+                        );
+                        let mut acc: i64 = 0;
+                        for (db, (pp, np)) in pos_planes.iter().zip(&neg_planes).enumerate() {
+                            for (xb, plane) in self.planes.iter().enumerate() {
+                                let p = plane.direct_conv_window(kh, kw, oh, ow, pp)?;
+                                let n = plane.direct_conv_window(kh, kw, oh, ow, np)?;
+                                acc += (i64::from(p) - i64::from(n)) << (db + xb);
+                            }
+                        }
+                        *grad.at4_mut(0, 0, kh, kw) =
+                            acc as f32 * self.x_scale * d_scale + self.x_min * delta_sum;
                     }
                 }
-                *grad.at4_mut(0, 0, kh, kw) = acc as f32 * self.x_scale * d_scale + self.x_min * delta_sum;
+            }
+            ReadPath::Packed => {
+                let pack = |planes: &[Vec<u8>]| -> Result<Vec<PackedKernel>> {
+                    planes.iter().map(|p| Ok(PackedKernel::pack(oh, ow, p)?)).collect()
+                };
+                let pos_packed = pack(&pos_planes)?;
+                let neg_packed = pack(&neg_planes)?;
+                let kwords = oh * words_for(ow);
+                let reads = (2 * pos_planes.len() * self.planes.len()) as u64;
+                let mut window = vec![0u64; self.planes.len() * kwords];
+                for kh in 0..k {
+                    for kw in 0..k {
+                        for (xb, plane) in self.planes.iter().enumerate() {
+                            plane.extract_window(
+                                kh,
+                                kw,
+                                oh,
+                                ow,
+                                &mut window[xb * kwords..(xb + 1) * kwords],
+                            )?;
+                        }
+                        inca_telemetry::record(Event::BitSerialCycle, reads);
+                        inca_telemetry::record(Event::XbarReadPulse, reads);
+                        inca_telemetry::record(Event::DacDrive, reads * (oh * ow) as u64);
+                        let mut acc: i64 = 0;
+                        for (db, (pp, np)) in pos_packed.iter().zip(&neg_packed).enumerate() {
+                            for (xb, words) in window.chunks_exact(kwords).enumerate() {
+                                let p = window_dot_packed(words, pp);
+                                let n = window_dot_packed(words, np);
+                                acc += (i64::from(p) - i64::from(n)) << (db + xb);
+                            }
+                        }
+                        *grad.at4_mut(0, 0, kh, kw) =
+                            acc as f32 * self.x_scale * d_scale + self.x_min * delta_sum;
+                    }
+                }
             }
         }
         Ok(grad)
@@ -207,7 +266,7 @@ impl HwGradientUnit {
 ///
 /// Propagates [`crate::HwConv`] construction and execution errors.
 pub fn backprop_error_hw(delta_next: &Tensor, weights: &Tensor) -> Result<Tensor> {
-    backprop_error_hw_with(delta_next, weights, ExecPolicy::Sequential)
+    backprop_error_hw_with(delta_next, weights, ExecPolicy::sequential())
 }
 
 /// [`backprop_error_hw`] with an explicit [`ExecPolicy`] for the
@@ -346,6 +405,18 @@ mod tests {
         for (a, b) in hw.data().iter().zip(reference.data()) {
             assert!((a - b).abs() < 0.04 * scale, "hw {a} vs framework {b}");
         }
+    }
+
+    #[test]
+    fn gradient_read_paths_are_bit_exact() {
+        let (h, k) = (9usize, 3usize);
+        let oh = h - k + 1;
+        let x2d = random_tensor(&[h, h], 81, -0.5, 1.0);
+        let delta2d = random_tensor(&[oh, oh], 82, -0.4, 0.4);
+        let unit = HwGradientUnit::program(&x2d).unwrap();
+        let packed = unit.weight_gradient(&delta2d, k).unwrap();
+        let scalar = unit.weight_gradient_with(&delta2d, k, ReadPath::Scalar).unwrap();
+        assert_eq!(packed.data(), scalar.data());
     }
 
     #[test]

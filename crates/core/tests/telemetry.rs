@@ -6,7 +6,7 @@
 
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use inca_core::{ExecPolicy, HwBatchConv, HwConv};
+use inca_core::{ExecPolicy, HwBatchConv, HwConv, ReadPath};
 use inca_nn::Tensor;
 use inca_telemetry::{Event, Snapshot};
 use rand::{Rng, SeedableRng};
@@ -49,7 +49,7 @@ fn parallel_conv_counts_match_sequential_for_random_thread_counts() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(23);
     for _ in 0..4 {
         let threads = rng.gen_range(2..=16);
-        let par = seq.clone().with_policy(ExecPolicy::Parallel { threads });
+        let par = seq.clone().with_policy(ExecPolicy::parallel_with(threads));
         // Clones share the activation cache; start cold like the baseline.
         par.clear_cache();
         let parallel = counted(|| {
@@ -73,13 +73,45 @@ fn parallel_batch_conv_counts_match_sequential() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(33);
     for _ in 0..3 {
         let threads = rng.gen_range(2..=12);
-        let par = seq.clone().with_policy(ExecPolicy::Parallel { threads });
+        let par = seq.clone().with_policy(ExecPolicy::parallel_with(threads));
         par.clear_cache();
         let parallel = counted(|| {
             par.forward(&xb).unwrap();
         });
         assert_eq!(baseline, parallel, "totals diverged at {threads} threads");
     }
+}
+
+#[test]
+fn packed_and_scalar_read_paths_count_identical_totals() {
+    let _guard = serial();
+    let w = random_tensor(&[4, 2, 3, 3], 51, -0.5, 0.5);
+    let bias = vec![0.0f32; 4];
+    let x = random_tensor(&[1, 2, 12, 12], 52, -0.5, 1.0);
+    let packed = HwConv::from_float(&w, &bias, 1, 1).unwrap();
+    let scalar = packed.clone().with_policy(ExecPolicy::sequential().with_read_path(ReadPath::Scalar));
+    let packed_counts = counted(|| {
+        packed.forward(&x).unwrap();
+    });
+    // Clones share the activation cache; start cold like the baseline.
+    scalar.clear_cache();
+    let scalar_counts = counted(|| {
+        scalar.forward(&x).unwrap();
+    });
+    assert!(packed_counts.iter().any(|&(_, n)| n > 0), "packed run recorded nothing");
+    assert_eq!(packed_counts, scalar_counts, "coalesced totals diverged from the per-read scheme");
+
+    let xb = random_tensor(&[3, 2, 8, 8], 53, -0.5, 1.0);
+    let bpacked = HwBatchConv::from_float(&w, &bias, 1, 1).unwrap();
+    let bscalar = bpacked.clone().with_policy(ExecPolicy::sequential().with_read_path(ReadPath::Scalar));
+    let packed_counts = counted(|| {
+        bpacked.forward(&xb).unwrap();
+    });
+    bscalar.clear_cache();
+    let scalar_counts = counted(|| {
+        bscalar.forward(&xb).unwrap();
+    });
+    assert_eq!(packed_counts, scalar_counts, "batch-engine totals diverged between read paths");
 }
 
 #[test]

@@ -48,6 +48,7 @@
 mod adc_readout;
 mod crossbar2d;
 mod error;
+pub mod packed;
 mod pipeline;
 mod plane;
 pub mod quant;
@@ -58,6 +59,7 @@ mod stack3d;
 pub use adc_readout::AdcReadout;
 pub use crossbar2d::Crossbar2d;
 pub use error::XbarError;
+pub use packed::{window_dot_packed, PackedKernel};
 pub use pipeline::{simulate_pipeline, PipelineConfig, PipelineStats};
 pub use plane::VerticalPlane;
 pub use sneak::{sneak_path_current, SneakPathEstimate};

@@ -3,6 +3,7 @@ use inca_telemetry::Event;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::packed::{words_for, PackedKernel};
 use crate::{Result, XbarError};
 
 /// One 2T1R vertical plane of the INCA architecture (§IV-A, Fig 8).
@@ -31,6 +32,12 @@ pub struct VerticalPlane {
     cols: usize,
     /// Stored bit per cell (normalized conductance 0 or 1).
     cells: Vec<u8>,
+    /// Word-packed mirror of `cells`: `words_per_row` `u64`s per row, bit
+    /// `j` of word `w` holding column `64·w + j` (LSB-first); bits beyond
+    /// `cols` stay zero. Kept in sync by every write, it serves the
+    /// word-parallel read path ([`VerticalPlane::conv_window_sum_packed`]).
+    packed: Vec<u64>,
+    words_per_row: usize,
     /// Cumulative write pulses (endurance accounting).
     writes: u64,
     /// Cumulative read (convolution) operations.
@@ -46,7 +53,29 @@ impl VerticalPlane {
     #[must_use]
     pub fn new(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "plane dimensions must be positive");
-        Self { rows, cols, cells: vec![0; rows * cols], writes: 0, reads: 0 }
+        let words_per_row = words_for(cols);
+        Self {
+            rows,
+            cols,
+            cells: vec![0; rows * cols],
+            packed: vec![0; rows * words_per_row],
+            words_per_row,
+            writes: 0,
+            reads: 0,
+        }
+    }
+
+    /// Rebuilds the packed mirror for rows `[row0, row0 + n)`.
+    fn repack_rows(&mut self, row0: usize, n: usize) {
+        for r in row0..row0 + n {
+            let words = &mut self.packed[r * self.words_per_row..(r + 1) * self.words_per_row];
+            words.fill(0);
+            for (j, &cell) in self.cells[r * self.cols..(r + 1) * self.cols].iter().enumerate() {
+                if cell & 1 == 1 {
+                    words[j >> 6] |= 1u64 << (j & 63);
+                }
+            }
+        }
     }
 
     /// The paper's 16×16 subarray (Table II).
@@ -98,6 +127,7 @@ impl VerticalPlane {
             return Err(XbarError::ValueOutOfRange { value: i64::from(bad), bits: 1 });
         }
         self.cells.copy_from_slice(bits);
+        self.repack_rows(0, self.rows);
         // One write pulse programs the whole plane simultaneously, but every
         // cell receives a pulse — endurance counts per-cell wear.
         self.writes += 1;
@@ -126,6 +156,7 @@ impl VerticalPlane {
                 self.cells[(row + i) * self.cols + col + j] = bits[i * w + j] & 1;
             }
         }
+        self.repack_rows(row, h);
         self.writes += 1;
         inca_telemetry::incr(Event::RramProgramPulse);
         Ok(())
@@ -169,11 +200,19 @@ impl VerticalPlane {
         self.conv_window_sum(row, col, kh, kw, kernel)
     }
 
-    /// The uncounted window accumulation. [`crate::Stack3d`] reads every
-    /// plane through this and does its own event accounting, because its
-    /// pillar drivers are *shared* across the stack (one DAC set per
-    /// broadcast, not per plane).
-    pub(crate) fn conv_window_sum(
+    /// The uncounted *scalar* window accumulation: a per-cell byte loop,
+    /// the reference model of the analog read. [`crate::Stack3d`] reads
+    /// every plane through this and does its own event accounting,
+    /// because its pillar drivers are *shared* across the stack (one DAC
+    /// set per broadcast, not per plane). Callers that coalesce their own
+    /// telemetry (the `inca-core` engines) use this or
+    /// [`VerticalPlane::conv_window_sum_packed`] directly.
+    ///
+    /// # Errors
+    ///
+    /// * [`XbarError::WindowOutOfBounds`] if the window does not fit.
+    /// * [`XbarError::ShapeMismatch`] if `kernel.len() != kh·kw`.
+    pub fn conv_window_sum(
         &self,
         row: usize,
         col: usize,
@@ -197,6 +236,96 @@ impl VerticalPlane {
             }
         }
         Ok(acc)
+    }
+
+    /// One 64-bit chunk of row `row` starting at bit (column) `bit0`,
+    /// read from the packed mirror. Columns past the row end come back as
+    /// zero bits.
+    #[inline]
+    fn row_chunk(&self, row: usize, bit0: usize) -> u64 {
+        let base = row * self.words_per_row;
+        let w = bit0 >> 6;
+        let off = bit0 & 63;
+        let lo = self.packed[base + w] >> off;
+        if off == 0 || w + 1 >= self.words_per_row {
+            lo
+        } else {
+            lo | (self.packed[base + w + 1] << (64 - off))
+        }
+    }
+
+    /// Extracts the window `[row, row+kh) × [col, col+kw)` as packed
+    /// words into `dst`, aligned so window column 0 is bit 0 of each
+    /// row's first word — the alignment [`PackedKernel`] packs to. `dst`
+    /// must hold `kh · words_for(kw)` words. Bits of `dst` beyond `kw`
+    /// in a row's last word may carry neighbouring in-bounds cells;
+    /// kernel masks are zero there, so dot products are unaffected.
+    ///
+    /// Engines call this **once per (window, activation-bit)** and reuse
+    /// the words across every weight bit, output channel, and
+    /// differential side — the read-amplification win of the packed path.
+    ///
+    /// # Errors
+    ///
+    /// * [`XbarError::WindowOutOfBounds`] if the window does not fit.
+    /// * [`XbarError::ShapeMismatch`] if `dst` has the wrong word count.
+    pub fn extract_window(
+        &self,
+        row: usize,
+        col: usize,
+        kh: usize,
+        kw: usize,
+        dst: &mut [u64],
+    ) -> Result<()> {
+        self.check_window(row, col, kh, kw)?;
+        let wpr = words_for(kw);
+        if dst.len() != kh * wpr {
+            return Err(XbarError::ShapeMismatch {
+                expected: format!("{kh}x{wpr} = {} window words", kh * wpr),
+                got: dst.len(),
+            });
+        }
+        for i in 0..kh {
+            for wi in 0..wpr {
+                dst[i * wpr + wi] = self.row_chunk(row + i, col + (wi << 6));
+            }
+        }
+        Ok(())
+    }
+
+    /// The uncounted *word-parallel* window accumulation: AND the packed
+    /// window words against the pre-packed kernel and popcount. Bit-exact
+    /// with [`VerticalPlane::conv_window_sum`] by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`XbarError::WindowOutOfBounds`] if the kernel's window does not
+    /// fit at `(row, col)`.
+    pub fn conv_window_sum_packed(&self, row: usize, col: usize, kernel: &PackedKernel) -> Result<u32> {
+        let (kh, kw) = (kernel.kh(), kernel.kw());
+        self.check_window(row, col, kh, kw)?;
+        let wpr = kernel.words_per_row();
+        let mut acc = 0u32;
+        for i in 0..kh {
+            for wi in 0..wpr {
+                let chunk = self.row_chunk(row + i, col + (wi << 6));
+                acc += (chunk & kernel.words()[i * wpr + wi]).count_ones();
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Like [`VerticalPlane::direct_conv_window`] but reading through the
+    /// packed mirror — same telemetry, same result, one word-parallel
+    /// accumulation instead of a `kh·kw` byte loop.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VerticalPlane::conv_window_sum_packed`].
+    pub fn direct_conv_window_packed(&self, row: usize, col: usize, kernel: &PackedKernel) -> Result<u32> {
+        inca_telemetry::incr(Event::XbarReadPulse);
+        inca_telemetry::record(Event::DacDrive, (kernel.kh() * kernel.kw()) as u64);
+        self.conv_window_sum_packed(row, col, kernel)
     }
 
     /// Like [`VerticalPlane::direct_conv_window`] but also counts the read
@@ -398,5 +527,70 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_dimension_panics() {
         let _ = VerticalPlane::new(0, 16);
+    }
+
+    #[test]
+    fn packed_read_matches_scalar_everywhere() {
+        // Every window position and several kernel shapes on a plane wide
+        // enough that chunks cross word boundaries.
+        let rows = 5;
+        let cols = 70;
+        let bits: Vec<u8> = (0..rows * cols).map(|i| ((i * 7 + i / 13) % 3 == 0) as u8).collect();
+        let p = plane_with(&bits, rows, cols);
+        for (kh, kw) in [(1, 1), (2, 3), (3, 3), (2, 66), (5, 70)] {
+            let kernel: Vec<u8> = (0..kh * kw).map(|i| ((i * 5) % 2) as u8).collect();
+            let packed = PackedKernel::pack(kh, kw, &kernel).unwrap();
+            for r in 0..=rows - kh {
+                for c in 0..=cols - kw {
+                    let scalar = p.conv_window_sum(r, c, kh, kw, &kernel).unwrap();
+                    let fast = p.conv_window_sum_packed(r, c, &packed).unwrap();
+                    assert_eq!(scalar, fast, "window ({r},{c}) kernel {kh}x{kw}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_window_matches_cells() {
+        let p = plane_with(&[1, 0, 1, 0, 0, 1, 1, 0, 1, 1, 1, 0, 0, 0, 1, 1], 4, 4);
+        let mut dst = [0u64; 2];
+        p.extract_window(1, 1, 2, 3, &mut dst).unwrap();
+        // Row 1 cols 1..4 = [1, 1, 0]; row 2 cols 1..4 = [1, 1, 0].
+        assert_eq!(dst[0] & 0b111, 0b011);
+        assert_eq!(dst[1] & 0b111, 0b011);
+        // Wrong buffer size and out-of-bounds windows are rejected.
+        assert!(p.extract_window(1, 1, 2, 3, &mut [0u64; 3]).is_err());
+        assert!(p.extract_window(3, 3, 2, 2, &mut [0u64; 2]).is_err());
+    }
+
+    #[test]
+    fn packed_mirror_tracks_region_writes() {
+        let mut p = plane_with(&[1; 16], 4, 4);
+        p.write_region(1, 1, 2, 2, &[0, 0, 0, 0]).unwrap();
+        let k = PackedKernel::pack(4, 4, &[1; 16]).unwrap();
+        assert_eq!(p.conv_window_sum_packed(0, 0, &k).unwrap(), 12);
+    }
+
+    #[test]
+    fn packed_window_bounds_checked() {
+        let p = plane_with(&[0; 16], 4, 4);
+        let k = PackedKernel::pack(2, 2, &[1; 4]).unwrap();
+        assert!(matches!(p.conv_window_sum_packed(3, 3, &k), Err(XbarError::WindowOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn direct_conv_window_packed_agrees_with_scalar_entry_point() {
+        let img = [1, 1, 0, 0, 1, 1, 1, 0, 1];
+        let p = plane_with(&img, 3, 3);
+        let k = [1, 0, 1, 1];
+        let pk = PackedKernel::pack(2, 2, &k).unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(
+                    p.direct_conv_window(r, c, 2, 2, &k).unwrap(),
+                    p.direct_conv_window_packed(r, c, &pk).unwrap()
+                );
+            }
+        }
     }
 }

@@ -85,6 +85,220 @@ fn write_pretty(v: &Value, indent: usize, out: &mut String) {
     }
 }
 
+/// Parses JSON text into a [`Value`] (recursive descent over the full
+/// JSON grammar; `\uXXXX` escapes decode surrogate pairs).
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed input or trailing non-whitespace.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error { msg: format!("trailing characters at byte {}", p.pos) });
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, what: &str) -> Error {
+        Error { msg: format!("{what} at byte {}", self.pos) }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            map.insert(key, self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let Some(hex) = self.bytes.get(self.pos..end).and_then(|b| std::str::from_utf8(b).ok()) else {
+            return Err(self.err("truncated \\u escape"));
+        };
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = *self.bytes.get(self.pos).ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                0x10000 + ((hi - 0xd800) << 10) + (lo.wrapping_sub(0xdc00) & 0x3ff)
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("unterminated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(if i >= 0 {
+                    Value::Number(Number::UInt(i as u64))
+                } else {
+                    Value::Number(Number::Int(i))
+                });
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::UInt(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::Float(f)))
+            .map_err(|_| Error { msg: format!("invalid number {text:?} at byte {start}") })
+    }
+}
+
 /// Serializes to compact JSON text.
 pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
     Ok(value.to_content().to_string())
@@ -116,6 +330,34 @@ mod tests {
         assert_eq!(to_string(&v).unwrap(), "{\"k\":[1,2],\"s\":\"he\\\"y\"}");
         let pretty = to_string_pretty(&v).unwrap();
         assert!(pretty.contains("\"k\": [\n"));
+    }
+
+    #[test]
+    fn from_str_round_trips() {
+        let text = r#"{ "a": 1, "b": [1.5, -2], "s": "he\"y\n", "n": null, "t": true }"#;
+        let parsed = from_str(text).unwrap();
+        assert_eq!(parsed["a"].as_u64(), Some(1));
+        assert_eq!(parsed["b"][0].as_f64(), Some(1.5));
+        assert_eq!(parsed["b"][1].as_i64(), Some(-2));
+        assert_eq!(parsed["s"].as_str(), Some("he\"y\n"));
+        assert!(parsed["n"].is_null());
+        assert_eq!(parsed["t"].as_bool(), Some(true));
+        // Missing keys index to Null rather than panicking.
+        assert!(parsed["absent"]["deeper"].is_null());
+        // Serializing and re-parsing is a fixed point.
+        let pretty = to_string_pretty(&parsed).unwrap();
+        assert_eq!(from_str(&pretty).unwrap().to_string(), parsed.to_string());
+    }
+
+    #[test]
+    fn from_str_rejects_malformed_input() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{\"k\": 1,}").is_err());
+        assert!(from_str("[1 2]").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("nul").is_err());
+        assert!(from_str("1 trailing").is_err());
+        assert_eq!(from_str("\"\\ud83d\\ude00\"").unwrap().as_str(), Some("\u{1F600}"));
     }
 
     #[test]

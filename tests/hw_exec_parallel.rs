@@ -90,7 +90,7 @@ proptest! {
         let bias: Vec<f32> = (0..out_ch).map(|o| o as f32 * 0.05 - 0.1).collect();
         let x = random_tensor(&[1, in_ch, h, w], seed.wrapping_add(1), -0.7, 1.0);
         let seq = HwConv::from_float(&weights, &bias, stride, pad).unwrap();
-        let par = seq.clone().with_policy(ExecPolicy::Parallel { threads });
+        let par = seq.clone().with_policy(ExecPolicy::parallel_with(threads));
         let y_seq = seq.forward(&x).unwrap();
         let y_par = par.forward(&x).unwrap();
         prop_assert_eq!(y_seq.shape(), y_par.shape());
@@ -113,7 +113,7 @@ proptest! {
         let bias = vec![0.05f32; out_ch];
         let x = random_tensor(&[batch, in_ch, h, h], seed.wrapping_add(2), -0.4, 1.0);
         let seq = HwBatchConv::from_float(&weights, &bias, stride, pad).unwrap();
-        let par = seq.clone().with_policy(ExecPolicy::Parallel { threads });
+        let par = seq.clone().with_policy(ExecPolicy::parallel_with(threads));
         let y_seq = seq.forward(&x).unwrap();
         let y_par = par.forward(&x).unwrap();
         prop_assert_eq!(y_seq.data(), y_par.data());

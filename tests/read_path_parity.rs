@@ -1,0 +1,123 @@
+//! Property tests for the tentpole claim of the packed read path: across
+//! random shapes, strides, paddings, and partition layouts, the
+//! bit-packed word-parallel reads produce **bit-identical outputs** and
+//! **identical telemetry totals** to the scalar per-cell read model —
+//! the coalesced per-burst records are exactly the per-read scheme's
+//! sums, and `popcount(x & w)` is exactly the byte loop's accumulation.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use inca::{ExecPolicy, HwBatchConv, HwConv, ReadPath};
+use inca_nn::Tensor;
+use inca_telemetry::Snapshot;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// Tests in this binary mutate the process-global telemetry state.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    TELEMETRY_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn random_tensor(shape: &[usize], seed: u64, lo: f32, hi: f32) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Tensor::from_vec((0..shape.iter().product::<usize>()).map(|_| rng.gen_range(lo..hi)).collect(), shape)
+}
+
+/// Runs `f` with recording enabled and returns the counter totals.
+fn counted<O, F: FnOnce() -> O>(f: F) -> (O, Vec<(inca_telemetry::Event, u64)>) {
+    inca_telemetry::reset();
+    inca_telemetry::set_enabled(true);
+    let out = f();
+    inca_telemetry::set_enabled(false);
+    let counters = Snapshot::capture().counters();
+    inca_telemetry::reset();
+    (out, counters)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Packed and scalar reads agree to the last bit — outputs and
+    /// telemetry — for the plane engine, across random geometry and
+    /// subarray partitioning.
+    #[test]
+    fn hw_conv_read_paths_agree(
+        seed in 0u64..10_000,
+        out_ch in 1usize..=3,
+        in_ch in 1usize..=2,
+        k in 1usize..=3,
+        stride in 1usize..=2,
+        pad in 0usize..=2,
+        h in 5usize..=12,
+        w in 5usize..=12,
+        side_sel in 0usize..=2,
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        // Small tile sides force multi-partition layouts with halo
+        // overlap even on these small maps.
+        let side = [16usize, 8, 6][side_sel];
+        let weights = random_tensor(&[out_ch, in_ch, k, k], seed, -0.6, 0.6);
+        let bias: Vec<f32> = (0..out_ch).map(|o| o as f32 * 0.04 - 0.06).collect();
+        let x = random_tensor(&[1, in_ch, h, w], seed.wrapping_add(1), -0.7, 1.0);
+        let packed = HwConv::from_float(&weights, &bias, stride, pad).unwrap().with_side(side);
+        let scalar =
+            packed.clone().with_policy(ExecPolicy::sequential().with_read_path(ReadPath::Scalar));
+
+        let _guard = serial();
+        let (y_packed, counts_packed) = counted(|| packed.forward(&x).unwrap());
+        // Clones share the activation cache; start cold like the baseline.
+        scalar.clear_cache();
+        let (y_scalar, counts_scalar) = counted(|| scalar.forward(&x).unwrap());
+        prop_assert_eq!(y_packed.shape(), y_scalar.shape());
+        prop_assert_eq!(y_packed.data(), y_scalar.data());
+        prop_assert_eq!(counts_packed, counts_scalar);
+    }
+
+    /// Same property for the 3D batch engine: packed broadcasts equal
+    /// scalar broadcasts bit-for-bit, telemetry included.
+    #[test]
+    fn hw_batch_conv_read_paths_agree(
+        seed in 0u64..10_000,
+        batch in 1usize..=3,
+        out_ch in 1usize..=2,
+        in_ch in 1usize..=2,
+        stride in 1usize..=2,
+        pad in 0usize..=1,
+        h in 5usize..=9,
+    ) {
+        let k = 3usize;
+        let weights = random_tensor(&[out_ch, in_ch, k, k], seed, -0.5, 0.5);
+        let bias = vec![0.03f32; out_ch];
+        let x = random_tensor(&[batch, in_ch, h, h], seed.wrapping_add(2), -0.4, 1.0);
+        let packed = HwBatchConv::from_float(&weights, &bias, stride, pad).unwrap();
+        let scalar =
+            packed.clone().with_policy(ExecPolicy::sequential().with_read_path(ReadPath::Scalar));
+
+        let _guard = serial();
+        let (y_packed, counts_packed) = counted(|| packed.forward(&x).unwrap());
+        scalar.clear_cache();
+        let (y_scalar, counts_scalar) = counted(|| scalar.forward(&x).unwrap());
+        prop_assert_eq!(y_packed.data(), y_scalar.data());
+        prop_assert_eq!(counts_packed, counts_scalar);
+    }
+
+    /// The parallel schedule composes with the packed read path without
+    /// changing a bit.
+    #[test]
+    fn packed_parallel_matches_packed_sequential(
+        seed in 0u64..10_000,
+        out_ch in 1usize..=3,
+        in_ch in 1usize..=2,
+        h in 6usize..=12,
+        threads in 2usize..=5,
+    ) {
+        let weights = random_tensor(&[out_ch, in_ch, 3, 3], seed, -0.5, 0.5);
+        let bias = vec![0.0f32; out_ch];
+        let x = random_tensor(&[1, in_ch, h, h], seed.wrapping_add(3), -0.5, 1.0);
+        let seq = HwConv::from_float(&weights, &bias, 1, 1).unwrap();
+        let par = seq.clone().with_policy(ExecPolicy::parallel_with(threads));
+        prop_assert_eq!(seq.forward(&x).unwrap().data(), par.forward(&x).unwrap().data());
+    }
+}

@@ -15,7 +15,7 @@
 
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
-use inca_core::{HwConv, DATA_BITS, WEIGHT_BITS};
+use inca_core::{ExecPolicy, HwConv, ReadPath, DATA_BITS, WEIGHT_BITS};
 use inca_nn::Tensor;
 use inca_sim::{conv_forward_events, ConvGeometry};
 use inca_telemetry::Event;
@@ -34,29 +34,48 @@ fn random_tensor(shape: &[usize], seed: u64, lo: f32, hi: f32) -> Tensor {
 }
 
 fn run_layer(geom: ConvGeometry, seed: u64) {
-    let w = random_tensor(&[geom.cout, geom.cin, geom.k, geom.k], seed, -0.5, 0.5);
-    let bias = vec![0.0f32; geom.cout];
-    let x = random_tensor(&[1, geom.cin, geom.h, geom.w], seed + 1, -0.5, 1.0);
-    let conv = HwConv::from_float(&w, &bias, geom.stride, geom.pad).unwrap();
+    // Both read paths must land on the analytical closed forms exactly:
+    // the scalar path counts per read, the packed path coalesces each
+    // window burst into one record per event kind — same totals.
+    for read_path in [ReadPath::Scalar, ReadPath::Packed] {
+        let w = random_tensor(&[geom.cout, geom.cin, geom.k, geom.k], seed, -0.5, 0.5);
+        let bias = vec![0.0f32; geom.cout];
+        let x = random_tensor(&[1, geom.cin, geom.h, geom.w], seed + 1, -0.5, 1.0);
+        let conv = HwConv::from_float(&w, &bias, geom.stride, geom.pad)
+            .unwrap()
+            .with_policy(ExecPolicy::sequential().with_read_path(read_path));
 
-    inca_telemetry::reset();
-    inca_telemetry::set_enabled(true);
-    conv.forward(&x).unwrap();
-    inca_telemetry::set_enabled(false);
+        inca_telemetry::reset();
+        inca_telemetry::set_enabled(true);
+        conv.forward(&x).unwrap();
+        inca_telemetry::set_enabled(false);
 
-    let predicted = conv_forward_events(&geom, u32::from(WEIGHT_BITS), u32::from(DATA_BITS));
-    assert_eq!(inca_telemetry::total(Event::XbarReadPulse), predicted.read_pulses, "read pulses");
-    assert_eq!(inca_telemetry::total(Event::AdcConversion), predicted.adc_conversions, "adc");
-    assert_eq!(inca_telemetry::total(Event::DacDrive), predicted.dac_drives, "dac");
-    assert_eq!(
-        inca_telemetry::total(Event::BitSerialCycle),
-        predicted.bit_serial_cycles,
-        "bit-serial cycles"
-    );
-    assert_eq!(inca_telemetry::total(Event::RramProgramPulse), predicted.program_pulses, "program pulses");
-    assert_eq!(inca_telemetry::total(Event::ProgramCacheMiss), 1);
-    assert_eq!(inca_telemetry::total(Event::ProgramCacheHit), 0);
-    inca_telemetry::reset();
+        let predicted = conv_forward_events(&geom, u32::from(WEIGHT_BITS), u32::from(DATA_BITS));
+        assert_eq!(
+            inca_telemetry::total(Event::XbarReadPulse),
+            predicted.read_pulses,
+            "read pulses ({read_path:?})"
+        );
+        assert_eq!(
+            inca_telemetry::total(Event::AdcConversion),
+            predicted.adc_conversions,
+            "adc ({read_path:?})"
+        );
+        assert_eq!(inca_telemetry::total(Event::DacDrive), predicted.dac_drives, "dac ({read_path:?})");
+        assert_eq!(
+            inca_telemetry::total(Event::BitSerialCycle),
+            predicted.bit_serial_cycles,
+            "bit-serial cycles ({read_path:?})"
+        );
+        assert_eq!(
+            inca_telemetry::total(Event::RramProgramPulse),
+            predicted.program_pulses,
+            "program pulses ({read_path:?})"
+        );
+        assert_eq!(inca_telemetry::total(Event::ProgramCacheMiss), 1);
+        assert_eq!(inca_telemetry::total(Event::ProgramCacheHit), 0);
+        inca_telemetry::reset();
+    }
 }
 
 #[test]
