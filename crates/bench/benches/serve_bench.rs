@@ -1,0 +1,55 @@
+//! Criterion benches of the serving simulator: raw event-engine churn
+//! (the floor `perf_smoke` gates on) and end-to-end serving points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use inca_serve::{run_point_with_costs, BackendKind, CostCache, EventQueue, ServeConfig};
+use std::hint::black_box;
+
+/// Schedule/pop churn through the future-event list: the hot loop every
+/// serving run spins on.
+fn event_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve-engine");
+
+    group.bench_function("event_queue_churn_4k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            // Interleave schedules and pops the way a serving run does:
+            // each popped event schedules a successor further out.
+            for i in 0..4096u64 {
+                q.schedule(q.now() + 1 + (i * 2_654_435_761) % 1000, i);
+                if i % 2 == 0 {
+                    black_box(q.pop());
+                }
+            }
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+            black_box(q.processed())
+        });
+    });
+
+    group.finish();
+}
+
+/// One full offered-load point per backend, costs pre-warmed so the
+/// numbers isolate the discrete-event machinery.
+fn serve_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve-point");
+    group.sample_size(10);
+
+    for backend in [BackendKind::Inca, BackendKind::WsBaseline] {
+        let mut cfg = ServeConfig::default_fleet(backend, 400.0);
+        cfg.requests = 1000;
+        let mut cache = CostCache::new(backend, &cfg.mix);
+        // Warm the cost table outside the timed region.
+        black_box(run_point_with_costs(&cfg, &mut cache));
+        group.bench_function(format!("point_1k_requests_{backend}"), |b| {
+            b.iter(|| black_box(run_point_with_costs(&cfg, &mut cache)));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, event_engine, serve_points);
+criterion_main!(benches);

@@ -1,9 +1,13 @@
 //! Command-line experiment harness: regenerates every table and figure of
 //! the paper. See `inca_bench::usage` for the artifact list.
 
-use inca_bench::{run_ids, usage};
+use inca_bench::{list_text, run_ids, usage, SERVE_ID};
 use inca_core::ExperimentOpts;
 use std::process::ExitCode;
+
+/// Where the serving sweep's machine-readable report lands (repo root,
+/// next to the other `*_report.json` artifacts).
+const SERVE_REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../SERVE_report.json");
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +28,10 @@ fn main() -> ExitCode {
             },
             "-h" | "--help" => {
                 print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "--list" | "list" => {
+                print!("{}", list_text());
                 return ExitCode::SUCCESS;
             }
             id => ids.push(id),
@@ -47,6 +55,24 @@ fn main() -> ExitCode {
     for r in &results {
         println!("=== {} — {}", r.id, r.title);
         println!("{}", r.text);
+    }
+
+    // The serving sweep additionally lands as a standalone artifact —
+    // byte-identical across same-seed runs.
+    if let Some(r) = results.iter().find(|r| r.id == SERVE_ID) {
+        match serde_json::to_string_pretty(&r.data) {
+            Ok(s) => {
+                if let Err(e) = std::fs::write(SERVE_REPORT_PATH, s + "\n") {
+                    eprintln!("failed to write {SERVE_REPORT_PATH}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {SERVE_REPORT_PATH}");
+            }
+            Err(e) => {
+                eprintln!("serve report serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 
     if let Some(path) = json_path {

@@ -10,10 +10,47 @@
 //!    coalescing each window burst into four `record()` calls retired
 //!    the 1.69x overhead the per-read scheme used to pay.
 //!
-//! Exits non-zero with a diagnostic if either bound is violated, so a
-//! perf regression fails the pipeline instead of silently shipping.
+//! It also measures the serving simulator in-process (wall-clock numbers
+//! never enter `SERVE_report.json`, which must stay byte-reproducible,
+//! so the perf gates live here instead):
+//!
+//! 3. the discrete-event engine sustains at least 1M events/second of
+//!    schedule/pop churn (release builds measure ~20M),
+//! 4. telemetry on vs off changes serving throughput by less than 1.5x.
+//!
+//! Exits non-zero with a diagnostic if any bound is violated, so a perf
+//! regression fails the pipeline instead of silently shipping.
 
+use inca_serve::{run_point_with_costs, BackendKind, CostCache, EventQueue, ServeConfig};
 use std::process::ExitCode;
+use std::time::Instant;
+
+/// Events/second through the future-event list under interleaved
+/// schedule/pop churn (the serving hot loop).
+fn event_engine_events_per_s() -> f64 {
+    let start = Instant::now();
+    let mut processed = 0u64;
+    for _ in 0..64 {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..4096u64 {
+            q.schedule(q.now() + 1 + (i * 2_654_435_761) % 1000, i);
+            if i % 2 == 0 {
+                let _ = q.pop();
+            }
+        }
+        while q.pop().is_some() {}
+        processed += q.processed();
+    }
+    processed as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Wall time of one serving point with pre-warmed costs.
+fn serve_point_secs(cfg: &ServeConfig, cache: &mut CostCache) -> f64 {
+    let start = Instant::now();
+    let run = run_point_with_costs(cfg, cache);
+    assert!(!run.completed.is_empty());
+    start.elapsed().as_secs_f64()
+}
 
 fn main() -> ExitCode {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hw_exec.json");
@@ -61,6 +98,43 @@ fn main() -> ExitCode {
     } else {
         eprintln!("perf_smoke: ok telemetry on_over_off = {on_over_off:.3} (< 1.5)");
     }
+    let events_per_s = event_engine_events_per_s();
+    if events_per_s < 1e6 {
+        eprintln!(
+            "perf_smoke: FAIL event engine {events_per_s:.0} events/s < 1e6 — \
+             the future-event list lost its heap discipline"
+        );
+        failed = true;
+    } else {
+        eprintln!("perf_smoke: ok event engine {:.1}M events/s (>= 1M)", events_per_s / 1e6);
+    }
+
+    // Serving telemetry overhead: median-of-3 wall times, costs warmed.
+    let mut cfg = ServeConfig::default_fleet(BackendKind::Inca, 400.0);
+    cfg.requests = 50_000;
+    let mut cache = CostCache::new(cfg.backend, &cfg.mix);
+    let _warm = serve_point_secs(&cfg, &mut cache);
+    let median = |cfg: &ServeConfig, cache: &mut CostCache| {
+        let mut t: Vec<f64> = (0..3).map(|_| serve_point_secs(cfg, cache)).collect();
+        t.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        t[1]
+    };
+    inca_telemetry::set_enabled(false);
+    let off = median(&cfg, &mut cache);
+    inca_telemetry::set_enabled(true);
+    let on = median(&cfg, &mut cache);
+    inca_telemetry::set_enabled(false);
+    let serve_on_over_off = on / off;
+    if serve_on_over_off >= 1.5 {
+        eprintln!(
+            "perf_smoke: FAIL serve telemetry on_over_off = {serve_on_over_off:.3} >= 1.5 — \
+             per-request counters are too hot for the serving loop"
+        );
+        failed = true;
+    } else {
+        eprintln!("perf_smoke: ok serve telemetry on_over_off = {serve_on_over_off:.3} (< 1.5)");
+    }
+
     if failed {
         ExitCode::FAILURE
     } else {

@@ -17,6 +17,31 @@
 #![warn(missing_docs)]
 
 use inca_core::{Experiment, ExperimentOpts, ExperimentResult};
+use inca_serve::{run_sweep, SweepConfig};
+
+/// Identifier of the serving sweep. It is not a paper artifact, so it
+/// lives beside the `Experiment` registry rather than in it (keeping
+/// `inca-core` independent of the serving layer).
+pub const SERVE_ID: &str = "serve";
+
+/// Title of the serving sweep, for listings.
+pub const SERVE_TITLE: &str =
+    "Serving: p99 latency vs offered load, INCA vs WS vs GPU fleets (writes SERVE_report.json)";
+
+/// Runs the serving sweep: a Poisson request stream over multi-chip
+/// fleets of all three backends, reported as the latency-vs-load table
+/// behind `SERVE_report.json`.
+#[must_use]
+pub fn serve_experiment(opts: &ExperimentOpts) -> ExperimentResult {
+    let cfg = if opts.quick { SweepConfig::quick() } else { SweepConfig::full() };
+    let report = run_sweep(&cfg);
+    ExperimentResult {
+        id: SERVE_ID.to_string(),
+        title: SERVE_TITLE.to_string(),
+        text: report.text_table(),
+        data: report.to_json(),
+    }
+}
 
 /// Runs a list of experiment ids (or all of them for `"all"`), returning
 /// the results in order.
@@ -34,6 +59,9 @@ pub fn run_ids<'a>(
             for e in Experiment::all() {
                 out.push(e.run(opts));
             }
+            out.push(serve_experiment(opts));
+        } else if id == SERVE_ID {
+            out.push(serve_experiment(opts));
         } else {
             let e = Experiment::from_id(id).ok_or_else(|| id.to_string())?;
             out.push(e.run(opts));
@@ -42,13 +70,28 @@ pub fn run_ids<'a>(
     Ok(out)
 }
 
+/// The `--list` output: every runnable experiment id with its
+/// description, one per line.
+#[must_use]
+pub fn list_text() -> String {
+    let mut s = String::new();
+    for e in Experiment::all() {
+        s.push_str(&format!("{:<22} {}\n", e.id(), e.title()));
+    }
+    s.push_str(&format!("{SERVE_ID:<22} {SERVE_TITLE}\n"));
+    s
+}
+
 /// The usage string of the experiments binary.
 #[must_use]
 pub fn usage() -> String {
-    let mut s =
-        String::from("usage: experiments [--full] [--json PATH] <id>... | all\n\navailable experiments:\n");
-    for e in Experiment::all() {
-        s.push_str(&format!("  {:<22} {}\n", e.id(), e.title()));
+    let mut s = String::from(
+        "usage: experiments [--full] [--json PATH] <id>... | all\n       experiments --list | list\n\navailable experiments:\n",
+    );
+    for line in list_text().lines() {
+        s.push_str("  ");
+        s.push_str(line);
+        s.push('\n');
     }
     s
 }
@@ -76,5 +119,22 @@ mod tests {
         for e in Experiment::all() {
             assert!(u.contains(e.id()), "{} missing from usage", e.id());
         }
+        assert!(u.contains(SERVE_ID), "serve missing from usage");
+    }
+
+    #[test]
+    fn list_has_one_line_per_experiment() {
+        let l = list_text();
+        assert_eq!(l.lines().count(), Experiment::all().len() + 1);
+        assert!(l.lines().all(|line| line.split_whitespace().count() >= 2));
+    }
+
+    #[test]
+    fn serve_runs_through_the_harness() {
+        let r = run_ids([SERVE_ID], &ExperimentOpts { quick: true }).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, SERVE_ID);
+        assert!(r[0].text.contains("-- inca"));
+        assert!(r[0].data["backends"].as_array().is_some_and(|b| b.len() == 3));
     }
 }

@@ -1,0 +1,265 @@
+//! Per-chip serving state: pending queues, the dynamic batcher, and the
+//! single service slot a chip's plane stack represents.
+
+use crate::event::SimTime;
+
+/// Dynamic-batching policy: accumulate requests per model until the
+/// batch fills or the oldest member has waited long enough.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Largest batch a chip launches at once (≤ the backend's plane
+    /// count; the sweep clamps it).
+    pub max_batch: usize,
+    /// Longest an idle chip holds a non-full batch open, nanoseconds.
+    pub max_wait_ns: SimTime,
+}
+
+impl BatchPolicy {
+    /// The default serving policy: fill the 64-plane stack or launch
+    /// after 2 ms, whichever comes first.
+    #[must_use]
+    pub fn default_paper() -> Self {
+        Self { max_batch: 64, max_wait_ns: 2_000_000 }
+    }
+}
+
+/// One queued request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Monotonic request id (arrival order).
+    pub id: u64,
+    /// Index into the run's model mix.
+    pub model_idx: usize,
+    /// Arrival time, virtual nanoseconds.
+    pub arrival_ns: SimTime,
+}
+
+/// The serving state of one chip.
+pub struct Chip {
+    /// Per-model FIFO of admitted, not-yet-launched requests.
+    pub pending: Vec<Vec<Request>>,
+    /// Cursor into each pending FIFO (drained prefix; compacted on
+    /// batch launch to keep memory bounded).
+    heads: Vec<usize>,
+    /// Total requests waiting across all models.
+    pub queued: usize,
+    /// Requests currently executing (batch in flight), 0 when idle.
+    pub in_flight: usize,
+    /// The model whose weights are resident, once anything ran.
+    pub resident_model: Option<usize>,
+    /// Number of weight re-programming switches performed.
+    pub switches: u64,
+}
+
+impl Chip {
+    /// An idle chip serving a mix of `models` distinct models.
+    #[must_use]
+    pub fn new(models: usize) -> Self {
+        Self {
+            pending: vec![Vec::new(); models],
+            heads: vec![0; models],
+            queued: 0,
+            in_flight: 0,
+            resident_model: None,
+            switches: 0,
+        }
+    }
+
+    /// Whether the service slot is occupied.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        self.in_flight > 0
+    }
+
+    /// Load metric for join-shortest-queue: waiting + executing.
+    #[must_use]
+    pub fn load(&self) -> usize {
+        self.queued + self.in_flight
+    }
+
+    /// Admits a request into its model's FIFO.
+    pub fn admit(&mut self, req: Request) {
+        self.pending[req.model_idx].push(req);
+        self.queued += 1;
+    }
+
+    /// Pending depth of one model's FIFO.
+    #[must_use]
+    pub fn depth(&self, model_idx: usize) -> usize {
+        self.pending[model_idx].len() - self.heads[model_idx]
+    }
+
+    /// Arrival time of the oldest pending request of `model_idx`.
+    #[must_use]
+    pub fn head_arrival(&self, model_idx: usize) -> Option<SimTime> {
+        self.pending[model_idx].get(self.heads[model_idx]).map(|r| r.arrival_ns)
+    }
+
+    /// The model whose head request has waited longest (ties: lowest
+    /// index), or `None` when nothing is pending.
+    #[must_use]
+    pub fn oldest_model(&self) -> Option<usize> {
+        let mut best: Option<(SimTime, usize)> = None;
+        for m in 0..self.pending.len() {
+            if let Some(at) = self.head_arrival(m) {
+                if best.is_none_or(|(bat, _)| at < bat) {
+                    best = Some((at, m));
+                }
+            }
+        }
+        best.map(|(_, m)| m)
+    }
+
+    /// Earliest launch deadline among pending heads
+    /// (`head_arrival + max_wait`), for timeout scheduling.
+    #[must_use]
+    pub fn earliest_deadline(&self, max_wait_ns: SimTime) -> Option<SimTime> {
+        (0..self.pending.len())
+            .filter_map(|m| self.head_arrival(m))
+            .min()
+            .map(|at| at.saturating_add(max_wait_ns))
+    }
+
+    /// Drains up to `max_batch` requests of `model_idx` into a batch and
+    /// marks the slot busy. Returns the batch members in FIFO order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip is already busy or the model FIFO is empty —
+    /// both are engine logic errors, not runtime conditions.
+    pub fn launch(&mut self, model_idx: usize, max_batch: usize) -> Vec<Request> {
+        assert!(!self.busy(), "launch on a busy chip");
+        let head = self.heads[model_idx];
+        let fifo = &mut self.pending[model_idx];
+        assert!(head < fifo.len(), "launch with an empty FIFO");
+        let take = (fifo.len() - head).min(max_batch);
+        let batch: Vec<Request> = fifo[head..head + take].to_vec();
+        // Compact: drop the drained prefix so FIFOs never grow unbounded.
+        fifo.drain(..head + take);
+        self.heads[model_idx] = 0;
+        self.queued -= take;
+        self.in_flight = take;
+        if self.resident_model != Some(model_idx) {
+            if self.resident_model.is_some() {
+                self.switches += 1;
+            }
+            self.resident_model = Some(model_idx);
+        }
+        batch
+    }
+
+    /// Marks the in-flight batch complete, freeing the slot.
+    pub fn complete(&mut self) {
+        self.in_flight = 0;
+    }
+}
+
+/// How arriving requests are routed across the chip fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Cycle through chips regardless of state.
+    RoundRobin,
+    /// Send to the least-loaded chip (waiting + executing; ties to the
+    /// lowest index).
+    JoinShortestQueue,
+    /// Shard models onto home chips (`model_idx % chips`) so a chip
+    /// rarely re-programs weights.
+    ModelAffinity,
+}
+
+impl DispatchPolicy {
+    /// Stable identifier used in reports.
+    #[must_use]
+    pub fn id(&self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round_robin",
+            DispatchPolicy::JoinShortestQueue => "join_shortest_queue",
+            DispatchPolicy::ModelAffinity => "model_affinity",
+        }
+    }
+
+    /// Picks the destination chip for a request.
+    #[must_use]
+    pub fn choose(&self, chips: &[Chip], model_idx: usize, rr_cursor: &mut usize) -> usize {
+        match self {
+            DispatchPolicy::RoundRobin => {
+                let c = *rr_cursor % chips.len();
+                *rr_cursor = (*rr_cursor + 1) % chips.len();
+                c
+            }
+            DispatchPolicy::JoinShortestQueue => {
+                let mut best = 0;
+                for (i, chip) in chips.iter().enumerate().skip(1) {
+                    if chip.load() < chips[best].load() {
+                        best = i;
+                    }
+                }
+                best
+            }
+            DispatchPolicy::ModelAffinity => model_idx % chips.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, model: usize, at: SimTime) -> Request {
+        Request { id, model_idx: model, arrival_ns: at }
+    }
+
+    #[test]
+    fn launch_drains_fifo_in_order() {
+        let mut chip = Chip::new(2);
+        for i in 0..5 {
+            chip.admit(req(i, 0, 10 * i));
+        }
+        chip.admit(req(9, 1, 1));
+        let batch = chip.launch(0, 3);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(chip.queued, 3);
+        assert!(chip.busy());
+        chip.complete();
+        let batch = chip.launch(0, 64);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![3, 4]);
+    }
+
+    #[test]
+    fn oldest_model_prefers_earliest_head() {
+        let mut chip = Chip::new(3);
+        chip.admit(req(0, 2, 50));
+        chip.admit(req(1, 1, 20));
+        assert_eq!(chip.oldest_model(), Some(1));
+        assert_eq!(chip.earliest_deadline(5), Some(25));
+    }
+
+    #[test]
+    fn switches_count_model_changes() {
+        let mut chip = Chip::new(2);
+        chip.admit(req(0, 0, 0));
+        chip.launch(0, 1);
+        chip.complete();
+        assert_eq!(chip.switches, 0); // first residency is free
+        chip.admit(req(1, 1, 5));
+        chip.launch(1, 1);
+        assert_eq!(chip.switches, 1);
+    }
+
+    #[test]
+    fn affinity_pins_models_to_chips() {
+        let chips: Vec<Chip> = (0..3).map(|_| Chip::new(6)).collect();
+        let mut cursor = 0;
+        let policy = DispatchPolicy::ModelAffinity;
+        assert_eq!(policy.choose(&chips, 4, &mut cursor), 1);
+        assert_eq!(policy.choose(&chips, 4, &mut cursor), 1);
+    }
+
+    #[test]
+    fn jsq_picks_least_loaded() {
+        let mut chips: Vec<Chip> = (0..2).map(|_| Chip::new(1)).collect();
+        chips[0].admit(req(0, 0, 0));
+        let mut cursor = 0;
+        assert_eq!(DispatchPolicy::JoinShortestQueue.choose(&chips, 0, &mut cursor), 1);
+    }
+}

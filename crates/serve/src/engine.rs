@@ -1,0 +1,395 @@
+//! The serving engine: one offered-load point simulated end to end.
+//!
+//! Event flow: a request source feeds `Arrival` events; the dispatcher
+//! routes each request to a chip (or sheds it when the fleet is full);
+//! the per-chip dynamic batcher launches batches when they fill or time
+//! out; `BatchDone` completes every member and immediately re-arms the
+//! chip. The loop is single-threaded and fully deterministic: same
+//! config + seed → the same event sequence, counters and report bytes.
+
+use inca_telemetry as tel;
+
+use crate::backend::{BackendKind, CostCache};
+use crate::chip::{BatchPolicy, Chip, DispatchPolicy, Request};
+use crate::event::{EventQueue, SimTime};
+use crate::source::{ArrivalKind, ModelMix, RequestSource};
+
+/// Configuration of one serving run (one offered-load point).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Cost model serving the traffic.
+    pub backend: BackendKind,
+    /// Number of identical chips in the fleet.
+    pub chips: usize,
+    /// Request routing policy.
+    pub policy: DispatchPolicy,
+    /// Dynamic batching policy (max batch is clamped to the backend's
+    /// plane count).
+    pub batch: BatchPolicy,
+    /// Per-chip admission bound: arrivals beyond this many waiting
+    /// requests are shed.
+    pub queue_cap: usize,
+    /// Traffic mixture over models.
+    pub mix: ModelMix,
+    /// Arrival process.
+    pub arrivals: ArrivalKind,
+    /// RNG seed for the source.
+    pub seed: u64,
+    /// Number of requests the source emits.
+    pub requests: u64,
+}
+
+impl ServeConfig {
+    /// A small default fleet: 4 chips, join-shortest-queue, the paper
+    /// batching policy, Poisson arrivals over the serving mix.
+    #[must_use]
+    pub fn default_fleet(backend: BackendKind, rate_rps: f64) -> Self {
+        Self {
+            backend,
+            chips: 4,
+            policy: DispatchPolicy::JoinShortestQueue,
+            batch: BatchPolicy::default_paper(),
+            queue_cap: 1024,
+            mix: ModelMix::paper_serving_mix(),
+            arrivals: ArrivalKind::Poisson { rate_rps },
+            seed: 0xC0FFEE,
+            requests: 2000,
+        }
+    }
+
+    /// The effective max batch after clamping to the backend.
+    #[must_use]
+    pub fn effective_max_batch(&self) -> usize {
+        self.batch.max_batch.min(self.backend.max_batch()).max(1)
+    }
+}
+
+/// One completed request with its full timing provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedRequest {
+    /// Request id (arrival order).
+    pub id: u64,
+    /// Model index in the mix.
+    pub model_idx: usize,
+    /// Arrival time, ns.
+    pub arrival_ns: SimTime,
+    /// Completion time, ns.
+    pub done_ns: SimTime,
+    /// Size of the batch it rode in.
+    pub batch_size: usize,
+    /// Service occupancy of that batch (including any switch penalty), ns.
+    pub service_ns: SimTime,
+}
+
+impl CompletedRequest {
+    /// End-to-end latency (queueing + batching wait + service), ns.
+    #[must_use]
+    pub fn latency_ns(&self) -> SimTime {
+        self.done_ns - self.arrival_ns
+    }
+}
+
+/// Everything one serving run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Completed requests in completion order.
+    pub completed: Vec<CompletedRequest>,
+    /// Requests dropped by admission control.
+    pub shed: u64,
+    /// Virtual time of the last completion, ns.
+    pub makespan_ns: SimTime,
+    /// Total energy of all launched batches, joules.
+    pub energy_j: f64,
+    /// `hist[s]` = number of batches launched with size `s`
+    /// (index 0 unused).
+    pub batch_hist: Vec<u64>,
+    /// Total weight re-programming switches across the fleet.
+    pub switches: u64,
+    /// Discrete events processed by the engine.
+    pub events: u64,
+    /// Sum of fleet queue depths sampled at each arrival (for the mean).
+    pub queue_depth_sum: u64,
+    /// Largest single-chip queue depth observed.
+    pub max_queue_depth: usize,
+    /// Requests offered (completed + shed).
+    pub offered: u64,
+}
+
+impl RunResult {
+    /// Completed-request throughput in requests/second of virtual time.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.completed.len() as f64 / (self.makespan_ns as f64 / 1e9)
+    }
+
+    /// Mean launched batch size.
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        let batches: u64 = self.batch_hist.iter().sum();
+        if batches == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.batch_hist.iter().enumerate().map(|(s, &n)| s as u64 * n).sum();
+        total as f64 / batches as f64
+    }
+
+    /// Energy per completed request, joules.
+    #[must_use]
+    pub fn energy_per_request_j(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.energy_j / self.completed.len() as f64
+    }
+
+    /// Mean fleet queue depth seen by arrivals.
+    #[must_use]
+    pub fn mean_queue_depth(&self) -> f64 {
+        if self.offered == 0 {
+            return 0.0;
+        }
+        self.queue_depth_sum as f64 / self.offered as f64
+    }
+}
+
+enum Ev {
+    /// A request reaches the dispatcher.
+    Arrival(Request),
+    /// An idle chip's batching window may have expired.
+    BatchTimeout { chip: usize },
+    /// A chip finishes its in-flight batch.
+    BatchDone { chip: usize, batch: Vec<Request>, service_ns: SimTime },
+}
+
+/// Runs one serving point to completion and returns the full result.
+///
+/// # Panics
+///
+/// Panics on configuration errors (zero chips, empty mix).
+#[must_use]
+pub fn run_point(config: &ServeConfig) -> RunResult {
+    let _span = tel::span("serve.point");
+    assert!(config.chips >= 1, "need at least one chip");
+    let mut costs = CostCache::new(config.backend, &config.mix);
+    run_point_with_costs(config, &mut costs)
+}
+
+/// [`run_point`] reusing a warm cost cache (the sweep driver shares one
+/// cache per backend so (model, batch) costs are priced once).
+#[must_use]
+pub fn run_point_with_costs(config: &ServeConfig, costs: &mut CostCache) -> RunResult {
+    let max_batch = config.effective_max_batch();
+    let mut source = RequestSource::new(config.arrivals, config.mix.clone(), config.seed, config.requests);
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut chips: Vec<Chip> = (0..config.chips).map(|_| Chip::new(config.mix.len())).collect();
+    let mut rr_cursor = 0usize;
+    let mut next_id = 0u64;
+
+    let mut result = RunResult {
+        completed: Vec::with_capacity(config.requests as usize),
+        shed: 0,
+        makespan_ns: 0,
+        energy_j: 0.0,
+        batch_hist: vec![0; max_batch + 1],
+        switches: 0,
+        events: 0,
+        queue_depth_sum: 0,
+        max_queue_depth: 0,
+        offered: 0,
+    };
+
+    // Prime the first arrival; each arrival schedules its successor.
+    if let Some((at, model_idx)) = source.next_request() {
+        queue.schedule(at, Ev::Arrival(Request { id: next_id, model_idx, arrival_ns: at }));
+        next_id += 1;
+    }
+
+    while let Some((now, ev)) = queue.pop() {
+        match ev {
+            Ev::Arrival(req) => {
+                // Chain the next arrival before anything else so source
+                // order is independent of service events.
+                if let Some((at, model_idx)) = source.next_request() {
+                    queue.schedule(at, Ev::Arrival(Request { id: next_id, model_idx, arrival_ns: at }));
+                    next_id += 1;
+                }
+                result.offered += 1;
+                let c = config.policy.choose(&chips, req.model_idx, &mut rr_cursor);
+                let fleet_depth: usize = chips.iter().map(|ch| ch.queued).sum();
+                result.queue_depth_sum += fleet_depth as u64;
+                if chips[c].queued >= config.queue_cap {
+                    result.shed += 1;
+                    tel::incr(tel::Event::ServeRequestShed);
+                    continue;
+                }
+                tel::incr(tel::Event::ServeRequestAdmitted);
+                chips[c].admit(req);
+                result.max_queue_depth = result.max_queue_depth.max(chips[c].queued);
+                if !chips[c].busy() {
+                    if chips[c].depth(req.model_idx) >= max_batch {
+                        launch(
+                            &mut chips[c],
+                            c,
+                            req.model_idx,
+                            now,
+                            max_batch,
+                            costs,
+                            &mut queue,
+                            &mut result,
+                        );
+                    } else {
+                        // Hold the batch open; fire a timeout at this
+                        // request's deadline. Stale timeouts re-check
+                        // state and no-op, so over-scheduling is safe.
+                        queue.schedule(
+                            now.saturating_add(config.batch.max_wait_ns),
+                            Ev::BatchTimeout { chip: c },
+                        );
+                    }
+                }
+            }
+            Ev::BatchTimeout { chip } => {
+                if chips[chip].busy() {
+                    continue;
+                }
+                // Launch the longest-waiting model iff its window truly
+                // expired (this event may be stale).
+                if let Some(m) = chips[chip].oldest_model() {
+                    let head = chips[chip].head_arrival(m).expect("oldest_model implies a head");
+                    if now.saturating_sub(head) >= config.batch.max_wait_ns
+                        || chips[chip].depth(m) >= max_batch
+                    {
+                        launch(&mut chips[chip], chip, m, now, max_batch, costs, &mut queue, &mut result);
+                    } else if let Some(deadline) = chips[chip].earliest_deadline(config.batch.max_wait_ns) {
+                        queue.schedule(deadline.max(now), Ev::BatchTimeout { chip });
+                    }
+                }
+            }
+            Ev::BatchDone { chip, batch, service_ns } => {
+                chips[chip].complete();
+                let size = batch.len();
+                for req in batch {
+                    result.completed.push(CompletedRequest {
+                        id: req.id,
+                        model_idx: req.model_idx,
+                        arrival_ns: req.arrival_ns,
+                        done_ns: now,
+                        batch_size: size,
+                        service_ns,
+                    });
+                }
+                result.makespan_ns = result.makespan_ns.max(now);
+                // Work-conserving: a freed chip with pending work starts
+                // the longest-waiting model immediately.
+                if let Some(m) = chips[chip].oldest_model() {
+                    launch(&mut chips[chip], chip, m, now, max_batch, costs, &mut queue, &mut result);
+                }
+            }
+        }
+    }
+
+    result.events = queue.processed();
+    result.switches = chips.iter().map(|c| c.switches).sum();
+    result
+}
+
+/// Forms a batch on `chip`, prices it, and schedules its completion.
+#[allow(clippy::too_many_arguments)] // internal plumbing of one call site pair
+fn launch(
+    chip: &mut Chip,
+    chip_idx: usize,
+    model_idx: usize,
+    now: SimTime,
+    max_batch: usize,
+    costs: &mut CostCache,
+    queue: &mut EventQueue<Ev>,
+    result: &mut RunResult,
+) {
+    let switching = chip.resident_model.is_some() && chip.resident_model != Some(model_idx);
+    let batch = chip.launch(model_idx, max_batch);
+    let cost = costs.cost(model_idx, batch.len());
+    let service_ns = cost.service_ns + if switching { costs.switch_penalty_ns(model_idx) } else { 0 };
+    result.energy_j += cost.energy_j;
+    result.batch_hist[batch.len()] += 1;
+    tel::incr(tel::Event::ServeBatchLaunched);
+    queue.schedule(now + service_ns, Ev::BatchDone { chip: chip_idx, batch, service_ns });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_workloads::Model;
+
+    fn small(backend: BackendKind, rate: f64, requests: u64) -> ServeConfig {
+        let mut cfg = ServeConfig::default_fleet(backend, rate);
+        cfg.requests = requests;
+        cfg.chips = 2;
+        cfg.mix = ModelMix::new(vec![Model::ResNet18, Model::MobileNetV2], vec![2.0, 1.0]);
+        cfg
+    }
+
+    #[test]
+    fn all_requests_complete_or_shed() {
+        let cfg = small(BackendKind::Gpu, 500.0, 400);
+        let r = run_point(&cfg);
+        assert_eq!(r.completed.len() as u64 + r.shed, 400);
+        assert_eq!(r.offered, 400);
+        assert!(r.events > 800, "arrivals + completions at minimum");
+    }
+
+    #[test]
+    fn latency_never_below_service() {
+        let cfg = small(BackendKind::Inca, 2000.0, 600);
+        let r = run_point(&cfg);
+        assert!(!r.completed.is_empty());
+        for c in &r.completed {
+            assert!(c.latency_ns() >= c.service_ns, "request {} time-travelled", c.id);
+            assert!(c.done_ns >= c.arrival_ns);
+            assert!(c.batch_size >= 1 && c.batch_size <= 64);
+        }
+    }
+
+    #[test]
+    fn batches_grow_under_load() {
+        let lo = run_point(&small(BackendKind::Inca, 50.0, 300));
+        let hi = run_point(&small(BackendKind::Inca, 50_000.0, 300));
+        assert!(
+            hi.mean_batch() > 2.0 * lo.mean_batch().max(1.0),
+            "lo {} hi {}",
+            lo.mean_batch(),
+            hi.mean_batch()
+        );
+    }
+
+    #[test]
+    fn overload_sheds_with_small_queues() {
+        let mut cfg = small(BackendKind::WsBaseline, 1e6, 500);
+        cfg.queue_cap = 8;
+        let r = run_point(&cfg);
+        assert!(r.shed > 0, "expected shedding under extreme overload");
+        assert!(r.max_queue_depth <= 8 + 1, "admission bound violated: {}", r.max_queue_depth);
+    }
+
+    #[test]
+    fn affinity_avoids_switches() {
+        let mut rr = small(BackendKind::Inca, 5000.0, 800);
+        rr.policy = DispatchPolicy::RoundRobin;
+        let mut aff = rr.clone();
+        aff.policy = DispatchPolicy::ModelAffinity;
+        let r_rr = run_point(&rr);
+        let r_aff = run_point(&aff);
+        assert_eq!(r_aff.switches, 0, "sharded models never swap weights");
+        assert!(r_rr.switches > 0, "mixed traffic on every chip must swap");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = small(BackendKind::Inca, 3000.0, 500);
+        let a = run_point(&cfg);
+        let b = run_point(&cfg);
+        assert_eq!(a, b);
+    }
+}

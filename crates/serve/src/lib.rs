@@ -1,0 +1,65 @@
+//! `inca-serve` — a deterministic discrete-event inference *serving*
+//! simulator layered on the INCA analytical cost models.
+//!
+//! The rest of the workspace answers per-model questions (one inference,
+//! one training step). This crate models the production question: a
+//! stream of requests from many users hitting a fleet of chips. The
+//! paper's structural asset for serving is the 3D HRRAM stack's 64
+//! shared-pillar planes (§IV-B): a whole batch executes in the cycle
+//! count of one image, so INCA's batch service time is nearly flat in
+//! batch size — exactly what a dynamic batcher wants to exploit. The
+//! weight-stationary baseline pays roughly linear batch latency, and the
+//! GPU roofline sits in between; serving the same traffic through all
+//! three shows where each saturates.
+//!
+//! Pieces:
+//!
+//! * [`EventQueue`] — binary-heap future-event list over an integer
+//!   virtual-time clock; no wall-clock anywhere, ties broken by schedule
+//!   order, so runs are bit-reproducible.
+//! * [`RequestSource`] — Poisson and bursty (2-state MMPP) arrivals over
+//!   a weighted [`ModelMix`], plus replayable JSON [`Trace`]s.
+//! * [`Chip`] / [`BatchPolicy`] — per-chip dynamic batcher: accumulate
+//!   per model until the batch fills (≤ the backend's plane count) or
+//!   the oldest request has waited `max_wait`, then occupy the stack.
+//! * [`DispatchPolicy`] — round-robin, join-shortest-queue, or
+//!   model-affinity sharding (which amortizes weight re-programming);
+//!   per-chip admission control sheds load beyond `queue_cap`.
+//! * [`CostCache`] / [`BackendKind`] — batch latency/energy memoized
+//!   from `inca_sim::simulate_inference` (INCA and WS) and the Titan RTX
+//!   roofline.
+//! * [`run_point`] / [`run_sweep`] — one offered-load point, and the
+//!   full latency-vs-load sweep behind `experiments serve` /
+//!   `SERVE_report.json`.
+//!
+//! # Examples
+//!
+//! ```
+//! use inca_serve::{run_point, BackendKind, ServeConfig};
+//!
+//! let mut cfg = ServeConfig::default_fleet(BackendKind::Inca, 1000.0);
+//! cfg.requests = 200;
+//! let run = run_point(&cfg);
+//! assert_eq!(run.completed.len() as u64 + run.shed, 200);
+//! // No time travel: a request's latency includes its batch's service.
+//! assert!(run.completed.iter().all(|c| c.latency_ns() >= c.service_ns));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backend;
+mod chip;
+mod engine;
+mod event;
+mod metrics;
+mod source;
+mod sweep;
+
+pub use backend::{BackendKind, BatchCost, CostCache};
+pub use chip::{BatchPolicy, Chip, DispatchPolicy, Request};
+pub use engine::{run_point, run_point_with_costs, CompletedRequest, RunResult, ServeConfig};
+pub use event::{ns_to_ms, ns_to_secs, secs_to_ns, EventQueue, SimTime};
+pub use metrics::{percentile_ns, PointSummary};
+pub use source::{ArrivalKind, ModelMix, RequestSource, Trace, TraceEntry};
+pub use sweep::{run_sweep, BackendSweep, ServeReport, SweepConfig};

@@ -1,0 +1,126 @@
+//! Serving metrics: latency percentiles, throughput, energy per request
+//! and batch-size statistics, summarized per offered-load point.
+
+use serde_json::{json, Value};
+
+use crate::engine::RunResult;
+use crate::event::ns_to_ms;
+
+/// Nearest-rank percentile over a sorted slice (deterministic — no
+/// interpolation, so report bytes can't drift on float rounding).
+#[must_use]
+pub fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// One offered-load point, summarized for the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSummary {
+    /// Offered load in requests/second.
+    pub offered_rps: f64,
+    /// Requests offered to the fleet.
+    pub offered: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Completed throughput, requests/second of virtual time.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// Mean launched batch size.
+    pub mean_batch: f64,
+    /// `hist[s]` = batches launched at size `s` (0 unused).
+    pub batch_hist: Vec<u64>,
+    /// Energy per completed request, millijoules.
+    pub energy_per_request_mj: f64,
+    /// Mean fleet queue depth seen by arrivals.
+    pub mean_queue_depth: f64,
+    /// Deepest single-chip queue observed.
+    pub max_queue_depth: usize,
+    /// Weight re-programming switches across the fleet.
+    pub switches: u64,
+    /// Engine events processed.
+    pub events: u64,
+}
+
+impl PointSummary {
+    /// Condenses a run at `offered_rps` into report form.
+    #[must_use]
+    pub fn from_run(offered_rps: f64, run: &RunResult) -> Self {
+        let mut lat: Vec<u64> = run.completed.iter().map(|c| c.latency_ns()).collect();
+        lat.sort_unstable();
+        Self {
+            offered_rps,
+            offered: run.offered,
+            completed: run.completed.len() as u64,
+            shed: run.shed,
+            throughput_rps: run.throughput_rps(),
+            p50_ms: ns_to_ms(percentile_ns(&lat, 50.0)),
+            p95_ms: ns_to_ms(percentile_ns(&lat, 95.0)),
+            p99_ms: ns_to_ms(percentile_ns(&lat, 99.0)),
+            mean_batch: run.mean_batch(),
+            batch_hist: run.batch_hist.clone(),
+            energy_per_request_mj: run.energy_per_request_j() * 1e3,
+            mean_queue_depth: run.mean_queue_depth(),
+            max_queue_depth: run.max_queue_depth,
+            switches: run.switches,
+            events: run.events,
+        }
+    }
+
+    /// JSON form for `SERVE_report.json`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        // The histogram is emitted sparsely (size -> count) to keep the
+        // report readable at max_batch = 64.
+        let hist: Vec<Value> = self
+            .batch_hist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(s, &n)| json!([s as u64, n]))
+            .collect();
+        json!({
+            "offered_rps": self.offered_rps,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_batch": self.mean_batch,
+            "batch_hist": Value::Array(hist),
+            "energy_per_request_mj": self.energy_per_request_mj,
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth as u64,
+            "switches": self.switches,
+            "events": self.events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&v, 50.0), 50);
+        assert_eq!(percentile_ns(&v, 99.0), 99);
+        assert_eq!(percentile_ns(&v, 100.0), 100);
+        assert_eq!(percentile_ns(&[42], 99.0), 42);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+    }
+}

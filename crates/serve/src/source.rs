@@ -1,0 +1,382 @@
+//! Request sources: Poisson and bursty (MMPP-2) arrival processes over
+//! the model zoo, plus replayable traces.
+//!
+//! Every source is driven by the vendored seeded [`rand`] shim, so a
+//! given `(seed, rate, mix)` always produces the same arrival sequence.
+//! Any generated stream can be captured as a [`Trace`], round-tripped
+//! through JSON, and replayed — byte-identical — later or on another
+//! machine.
+
+use inca_workloads::Model;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde_json::{json, Value};
+
+use crate::event::{secs_to_ns, SimTime, NS_PER_SEC};
+
+/// A weighted mixture over serving models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelMix {
+    /// The distinct models requests may target.
+    pub models: Vec<Model>,
+    /// Relative (unnormalized) traffic weight of each model.
+    pub weights: Vec<f64>,
+}
+
+impl ModelMix {
+    /// A mixture with the given models and weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty or mismatched inputs, or non-positive weights —
+    /// a serving config error, caught at construction.
+    #[must_use]
+    pub fn new(models: Vec<Model>, weights: Vec<f64>) -> Self {
+        assert!(!models.is_empty(), "model mix must not be empty");
+        assert_eq!(models.len(), weights.len(), "one weight per model");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        Self { models, weights }
+    }
+
+    /// The default serving mix: a heavy classifier, two light mobile
+    /// models, and an occasional very heavy VGG — the shape of a mixed
+    /// production fleet.
+    #[must_use]
+    pub fn paper_serving_mix() -> Self {
+        Self::new(
+            vec![Model::ResNet18, Model::MobileNetV2, Model::MnasNet, Model::Vgg16],
+            vec![4.0, 3.0, 2.0, 1.0],
+        )
+    }
+
+    /// A single-model mix.
+    #[must_use]
+    pub fn single(model: Model) -> Self {
+        Self::new(vec![model], vec![1.0])
+    }
+
+    /// Number of distinct models.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the mix is empty (never true for constructed mixes).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Normalized weight of model `idx`.
+    #[must_use]
+    pub fn share(&self, idx: usize) -> f64 {
+        self.weights[idx] / self.weights.iter().sum::<f64>()
+    }
+
+    /// Draws a model index proportionally to the weights.
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        let total: f64 = self.weights.iter().sum();
+        let mut u = rng.gen_range(0.0..total);
+        for (i, &w) in self.weights.iter().enumerate() {
+            if u < w {
+                return i;
+            }
+            u -= w;
+        }
+        self.weights.len() - 1
+    }
+}
+
+/// The stochastic shape of the arrival process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalKind {
+    /// Memoryless arrivals at a constant rate (requests/second).
+    Poisson {
+        /// Mean offered load in requests per second.
+        rate_rps: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: bursts at `rate_hi`
+    /// interleaved with lulls at `rate_lo`, with exponentially
+    /// distributed state dwell times.
+    Mmpp {
+        /// Arrival rate in the burst state (requests/second).
+        rate_hi: f64,
+        /// Arrival rate in the lull state (requests/second).
+        rate_lo: f64,
+        /// Mean dwell time in each state, seconds.
+        mean_dwell_s: f64,
+    },
+}
+
+impl ArrivalKind {
+    /// Long-run mean arrival rate in requests/second.
+    #[must_use]
+    pub fn mean_rate_rps(&self) -> f64 {
+        match *self {
+            ArrivalKind::Poisson { rate_rps } => rate_rps,
+            // Equal mean dwell in both states -> arithmetic mean rate.
+            ArrivalKind::Mmpp { rate_hi, rate_lo, .. } => 0.5 * (rate_hi + rate_lo),
+        }
+    }
+}
+
+/// One request's identity in a trace: arrival time and target model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Arrival time in virtual nanoseconds.
+    pub at_ns: SimTime,
+    /// Index into the run's [`ModelMix`].
+    pub model_idx: usize,
+}
+
+/// A replayable arrival trace (sorted by time).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// The arrivals, ascending in time.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// Serializes the trace to a JSON value (`[[at_ns, model_idx], ...]`).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        Value::Array(self.entries.iter().map(|e| json!([e.at_ns, e.model_idx as u64])).collect::<Vec<_>>())
+    }
+
+    /// Parses a trace from JSON text produced by [`Trace::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed entry.
+    pub fn from_json_str(s: &str) -> Result<Self, String> {
+        let v = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        let arr = v.as_array().ok_or("trace root must be a JSON array")?;
+        let mut entries = Vec::with_capacity(arr.len());
+        let mut last = 0u64;
+        for (i, item) in arr.iter().enumerate() {
+            let pair = item
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("trace entry {i} must be a two-element array [at_ns, model_idx]"))?;
+            let at_ns = pair[0].as_u64().ok_or_else(|| format!("entry {i}: at_ns must be a u64"))?;
+            let model_idx =
+                pair[1].as_u64().ok_or_else(|| format!("entry {i}: model_idx must be a u64"))? as usize;
+            if at_ns < last {
+                return Err(format!("entry {i}: trace times must be non-decreasing"));
+            }
+            last = at_ns;
+            entries.push(TraceEntry { at_ns, model_idx });
+        }
+        Ok(Self { entries })
+    }
+}
+
+/// A bounded stream of `(arrival_ns, model_idx)` requests.
+///
+/// Stochastic kinds draw from a private seeded RNG; traces replay
+/// verbatim. Iteration order is the arrival order.
+pub struct RequestSource {
+    kind: SourceState,
+    mix_len: usize,
+    remaining: u64,
+}
+
+enum SourceState {
+    Random {
+        kind: ArrivalKind,
+        mix: ModelMix,
+        rng: StdRng,
+        clock_ns: SimTime,
+        /// MMPP only: currently in the burst state, and when it ends.
+        in_burst: bool,
+        state_until_ns: SimTime,
+    },
+    Replay {
+        trace: Trace,
+        pos: usize,
+    },
+}
+
+impl RequestSource {
+    /// A stochastic source emitting `count` requests.
+    #[must_use]
+    pub fn new(kind: ArrivalKind, mix: ModelMix, seed: u64, count: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (in_burst, state_until_ns) = match kind {
+            ArrivalKind::Poisson { .. } => (false, SimTime::MAX),
+            ArrivalKind::Mmpp { mean_dwell_s, .. } => {
+                // Start in the burst state with a fresh dwell draw.
+                (true, secs_to_ns(exp_draw(&mut rng, 1.0 / mean_dwell_s)))
+            }
+        };
+        let mix_len = mix.len();
+        Self {
+            kind: SourceState::Random { kind, mix, rng, clock_ns: 0, in_burst, state_until_ns },
+            mix_len,
+            remaining: count,
+        }
+    }
+
+    /// A source replaying a recorded trace. `mix_len` bounds the model
+    /// indices the engine will accept.
+    #[must_use]
+    pub fn replay(trace: Trace, mix_len: usize) -> Self {
+        let remaining = trace.entries.len() as u64;
+        Self { kind: SourceState::Replay { trace, pos: 0 }, mix_len, remaining }
+    }
+
+    /// Number of models this source draws from.
+    #[must_use]
+    pub fn mix_len(&self) -> usize {
+        self.mix_len
+    }
+
+    /// Drains the source into a replayable [`Trace`].
+    #[must_use]
+    pub fn record(mut self) -> Trace {
+        let mut entries = Vec::new();
+        while let Some((at_ns, model_idx)) = self.next_request() {
+            entries.push(TraceEntry { at_ns, model_idx });
+        }
+        Trace { entries }
+    }
+
+    /// The next arrival, or `None` when the stream is exhausted.
+    pub fn next_request(&mut self) -> Option<(SimTime, usize)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        match &mut self.kind {
+            SourceState::Replay { trace, pos } => {
+                let e = trace.entries[*pos];
+                *pos += 1;
+                Some((e.at_ns, e.model_idx.min(self.mix_len.saturating_sub(1))))
+            }
+            SourceState::Random { kind, mix, rng, clock_ns, in_burst, state_until_ns } => {
+                match *kind {
+                    ArrivalKind::Poisson { rate_rps } => {
+                        *clock_ns += gap_ns(rng, rate_rps);
+                    }
+                    ArrivalKind::Mmpp { rate_hi, rate_lo, mean_dwell_s } => loop {
+                        let rate = if *in_burst { rate_hi } else { rate_lo };
+                        let candidate = *clock_ns + gap_ns(rng, rate);
+                        if candidate <= *state_until_ns {
+                            *clock_ns = candidate;
+                            break;
+                        }
+                        // The state flips before this arrival would land:
+                        // advance to the switch point and redraw there
+                        // (the exponential's memorylessness makes this
+                        // exact, not an approximation).
+                        *clock_ns = *state_until_ns;
+                        *in_burst = !*in_burst;
+                        *state_until_ns =
+                            clock_ns.saturating_add(secs_to_ns(exp_draw(rng, 1.0 / mean_dwell_s)));
+                    },
+                }
+                let model_idx = mix.pick(rng);
+                Some((*clock_ns, model_idx))
+            }
+        }
+    }
+}
+
+/// One exponential inter-arrival gap at `rate` events/second, in ns.
+fn gap_ns(rng: &mut StdRng, rate: f64) -> SimTime {
+    assert!(rate > 0.0, "arrival rate must be positive");
+    let gap_s = exp_draw(rng, rate);
+    // Round, but never zero: two arrivals at the same instant would only
+    // be ordered by the queue's tie-break, which is fine, but a zero gap
+    // at huge rates could stall virtual time entirely.
+    (gap_s * NS_PER_SEC).round().max(1.0) as SimTime
+}
+
+/// Draws Exp(rate) via inversion; 1 - u avoids ln(0).
+fn exp_draw(rng: &mut StdRng, rate: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_rate_is_close() {
+        let mix = ModelMix::single(Model::ResNet18);
+        let mut src = RequestSource::new(ArrivalKind::Poisson { rate_rps: 1000.0 }, mix, 7, 20_000);
+        let mut last = 0;
+        let mut n = 0u64;
+        while let Some((t, _)) = src.next_request() {
+            last = t;
+            n += 1;
+        }
+        let rate = n as f64 / (last as f64 / NS_PER_SEC);
+        assert!((rate - 1000.0).abs() / 1000.0 < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mk = || {
+            RequestSource::new(
+                ArrivalKind::Mmpp { rate_hi: 2000.0, rate_lo: 100.0, mean_dwell_s: 0.05 },
+                ModelMix::paper_serving_mix(),
+                42,
+                500,
+            )
+            .record()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson() {
+        // Squared coefficient of variation of inter-arrival gaps: 1 for
+        // Poisson, > 1 for a 2-state MMPP with distinct rates.
+        let cv2 = |kind| {
+            let src = RequestSource::new(kind, ModelMix::single(Model::MnasNet), 3, 30_000);
+            let t: Vec<u64> = src.record().entries.iter().map(|e| e.at_ns).collect();
+            let gaps: Vec<f64> = t.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = cv2(ArrivalKind::Poisson { rate_rps: 1000.0 });
+        let mmpp = cv2(ArrivalKind::Mmpp { rate_hi: 1900.0, rate_lo: 100.0, mean_dwell_s: 0.1 });
+        assert!((poisson - 1.0).abs() < 0.15, "poisson cv2 {poisson}");
+        assert!(mmpp > 2.0, "mmpp cv2 {mmpp}");
+    }
+
+    #[test]
+    fn trace_roundtrips_through_json() {
+        let src = RequestSource::new(
+            ArrivalKind::Poisson { rate_rps: 500.0 },
+            ModelMix::paper_serving_mix(),
+            11,
+            200,
+        );
+        let trace = src.record();
+        let text = serde_json::to_string_pretty(&trace.to_json()).unwrap();
+        let back = Trace::from_json_str(&text).unwrap();
+        assert_eq!(trace, back);
+        // Replaying yields the identical stream.
+        let replayed = RequestSource::replay(back, 4).record();
+        assert_eq!(trace, replayed);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        assert!(Trace::from_json_str("{}").is_err());
+        assert!(Trace::from_json_str("[[1]]").is_err());
+        assert!(Trace::from_json_str("[[5,0],[3,0]]").is_err());
+        assert!(Trace::from_json_str("[[1,0],[2,1]]").is_ok());
+    }
+
+    #[test]
+    fn mix_shares_normalize() {
+        let mix = ModelMix::paper_serving_mix();
+        let total: f64 = (0..mix.len()).map(|i| mix.share(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+}

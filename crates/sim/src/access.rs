@@ -167,7 +167,7 @@ mod tests {
     fn eq5_first_vgg_layer() {
         // ceil(3·3·3·16/256) = 2 (§III-B worked example).
         let spec = Model::Vgg16.spec();
-        let first = spec.conv_layers().next().unwrap();
+        let first = spec.first_conv_layer().expect("VGG16 has conv layers");
         assert_eq!(eq5_fetch_per_output(first, &AccessConfig::fig_7a()), 2);
     }
 

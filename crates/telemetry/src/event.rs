@@ -42,10 +42,16 @@ pub enum Event {
     ProgramCacheHit,
     /// A forward had to (re)program the input-stationary state.
     ProgramCacheMiss,
+    /// A serving request admitted into a chip queue (`inca-serve`).
+    ServeRequestAdmitted,
+    /// A serving request shed by admission control under overload.
+    ServeRequestShed,
+    /// A dynamically formed batch launched onto a chip's stacked planes.
+    ServeBatchLaunched,
 }
 
 /// Number of distinct events (size of a counter block).
-pub const EVENT_COUNT: usize = 12;
+pub const EVENT_COUNT: usize = 15;
 
 /// All events, in counter-slot order.
 pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
@@ -61,6 +67,9 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::DramWriteByte,
     Event::ProgramCacheHit,
     Event::ProgramCacheMiss,
+    Event::ServeRequestAdmitted,
+    Event::ServeRequestShed,
+    Event::ServeBatchLaunched,
 ];
 
 impl Event {
@@ -86,6 +95,9 @@ impl Event {
             Event::DramWriteByte => "dram_write_bytes",
             Event::ProgramCacheHit => "program_cache_hits",
             Event::ProgramCacheMiss => "program_cache_misses",
+            Event::ServeRequestAdmitted => "serve_requests_admitted",
+            Event::ServeRequestShed => "serve_requests_shed",
+            Event::ServeBatchLaunched => "serve_batches_launched",
         }
     }
 }

@@ -35,4 +35,4 @@ mod vgg;
 
 pub use builder::ModelBuilder;
 pub use layer::{LayerKind, LayerSpec, PoolKind};
-pub use model::{Model, ModelSpec};
+pub use model::{Model, ModelSpec, SpecError};

@@ -88,6 +88,29 @@ impl std::fmt::Display for Model {
     }
 }
 
+/// A structural defect in a model specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecError {
+    /// The spec has no convolution layers, but a consumer (direct
+    /// convolution mapping, Eq 5/6 access counting) requires one.
+    NoConvLayers {
+        /// The model whose spec came up empty.
+        model: Model,
+    },
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::NoConvLayers { model } => {
+                write!(f, "model {model} has no convolution layers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
 /// A fully resolved model description: ordered layers with shapes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ModelSpec {
@@ -113,6 +136,17 @@ impl ModelSpec {
     /// The convolution layers only.
     pub fn conv_layers(&self) -> impl Iterator<Item = &LayerSpec> {
         self.layers.iter().filter(|l| l.is_conv())
+    }
+
+    /// The first convolution layer — the layer the paper's worked
+    /// examples (Eq 5, §III-B) and the direct-convolution mapping anchor
+    /// on.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::NoConvLayers`] when the spec is FC-only.
+    pub fn first_conv_layer(&self) -> Result<&LayerSpec, SpecError> {
+        self.conv_layers().next().ok_or(SpecError::NoConvLayers { model: self.model })
     }
 
     /// Total trainable parameters.
@@ -252,5 +286,20 @@ mod tests {
             assert_eq!(first.cin, 3, "{m}");
             assert_eq!(first.h, 224, "{m}");
         }
+    }
+
+    #[test]
+    fn first_conv_layer_found_or_typed_error() {
+        for m in Model::paper_suite() {
+            assert!(m.spec().first_conv_layer().unwrap().is_conv(), "{m}");
+        }
+        // An FC-only spec reports the defect instead of panicking.
+        let fc_only = ModelSpec {
+            model: Model::Vgg16,
+            layers: crate::ModelBuilder::new(512, 1, 1).linear(10, true).finish(),
+        };
+        let err = fc_only.first_conv_layer().unwrap_err();
+        assert_eq!(err, SpecError::NoConvLayers { model: Model::Vgg16 });
+        assert!(err.to_string().contains("no convolution layers"));
     }
 }
