@@ -6,23 +6,31 @@ use crate::ArchConfig;
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AreaBreakdown {
     /// On-chip buffers (168 × 64 KB).
+    // lint: allow(raw-unit)
     pub buffer_mm2: f64,
     /// RRAM arrays (16 128 units).
+    // lint: allow(raw-unit)
     pub array_mm2: f64,
     /// ADCs.
+    // lint: allow(raw-unit)
     pub adc_mm2: f64,
     /// DACs (input drivers).
+    // lint: allow(raw-unit)
     pub dac_mm2: f64,
     /// Post-processing (ReLU + max-pooling units).
+    // lint: allow(raw-unit)
     pub post_processing_mm2: f64,
     /// Everything else (interconnect, control, registers) — measured by
     /// NeuroSim+ in the paper and carried as published constants.
+    // lint: allow(raw-unit)
     pub others_mm2: f64,
 }
 
 impl AreaBreakdown {
     /// Total chip area.
     #[must_use]
+    // Serialized-report scalar, raw by design (DESIGN.md §10).
+    // lint: allow(raw-unit)
     pub fn total_mm2(&self) -> f64 {
         self.buffer_mm2
             + self.array_mm2
@@ -61,7 +69,7 @@ impl AreaModel {
     /// is folded into the published per-stack figure.
     #[must_use]
     pub fn unit_area_um2(&self, config: &ArchConfig) -> f64 {
-        let cell = config.scaling.scale_area(config.cell_geometry.area_um2());
+        let cell = config.scaling.scale_area_raw(config.cell_geometry.area_um2());
         match config.dataflow {
             crate::Dataflow::WeightStationary => cell * (config.subarray * config.subarray) as f64,
             crate::Dataflow::InputStationary => {

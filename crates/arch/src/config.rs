@@ -137,6 +137,9 @@ impl ArchConfig {
     /// observation that "the read latency in the baseline is about 2× the
     /// write latency of INCA" (§V-B2).
     #[must_use]
+    // Interior cycle-model scalar multiplied into per-cycle counts;
+    // wrapped into `Time` at the sim boundary (DESIGN.md §10).
+    // lint: allow(raw-unit)
     pub fn array_read_latency_s(&self) -> f64 {
         let conversions = match self.dataflow {
             // 128 column outputs per array read.
@@ -145,11 +148,14 @@ impl ArchConfig {
             // but planes digitize in parallel groups.
             Dataflow::InputStationary => self.stacked_planes as f64 / self.subarrays_per_adc as f64,
         };
-        self.device.read_pulse_s + conversions * self.adc.conversion_latency_s()
+        self.device.read_pulse_s + (conversions * self.adc.conversion_latency_s()).seconds()
     }
 
     /// Latency of one array write cycle in seconds.
     #[must_use]
+    // Interior cycle-model scalar multiplied into per-cycle counts;
+    // wrapped into `Time` at the sim boundary (DESIGN.md §10).
+    // lint: allow(raw-unit)
     pub fn array_write_latency_s(&self) -> f64 {
         self.device.write_pulse_s
     }

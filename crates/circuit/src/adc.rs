@@ -1,3 +1,4 @@
+use inca_units::{Energy, Frequency, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::{CircuitError, Result};
@@ -25,16 +26,16 @@ use crate::{CircuitError, Result};
 /// use inca_circuit::AdcSpec;
 ///
 /// let adc = AdcSpec::new(4)?;
-/// assert!(adc.sample_rate_hz() > 2.0e9);
+/// assert!(adc.sample_rate_hz().hertz() > 2.0e9);
 /// # Ok::<(), inca_circuit::CircuitError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AdcSpec {
     bits: u8,
-    /// Energy scale constant: energy of a hypothetical 0-bit conversion, in
-    /// joules. Calibrated so a 8-bit conversion costs ~2 pJ (ISAAC-class SAR
-    /// ADC at 22 nm).
-    energy_unit_j: f64,
+    /// Energy scale constant: energy of a hypothetical 0-bit conversion.
+    /// Calibrated so a 8-bit conversion costs ~2 pJ (ISAAC-class SAR ADC
+    /// at 22 nm).
+    energy_unit_j: Energy,
     /// Area scale constant in µm², anchored to Table V:
     /// 8-bit ADC = 1878.6 µm², 4-bit = 284.4 µm² (see `area_um2` docs).
     area_unit_um2: f64,
@@ -48,7 +49,7 @@ impl AdcSpec {
     /// Default energy unit: `E(8) = 0.2 pJ ⇒ E_unit = 0.2 pJ / 2^4 =
     /// 0.0125 pJ`. NeuroSim-class effective per-conversion energy after
     /// amortizing the SAR ADC across its 1.2 GS/s pipeline.
-    const ENERGY_UNIT_J: f64 = 0.0125e-12;
+    const ENERGY_UNIT_J: Energy = Energy::from_joules(0.0125e-12);
 
     /// Creates an ADC of the given bit precision.
     ///
@@ -65,13 +66,13 @@ impl AdcSpec {
     /// INCA's 4-bit ADC (Table II).
     #[must_use]
     pub fn inca_default() -> Self {
-        Self::new(4).expect("4-bit is valid")
+        Self::new(4).expect("4-bit is valid") // constant precision: infallible. lint: allow(panic-path)
     }
 
     /// The WS baseline's 8-bit ADC (Table II).
     #[must_use]
     pub fn baseline_default() -> Self {
-        Self::new(8).expect("8-bit is valid")
+        Self::new(8).expect("8-bit is valid") // constant precision: infallible. lint: allow(panic-path)
     }
 
     /// Bit precision of the converter.
@@ -80,9 +81,9 @@ impl AdcSpec {
         self.bits
     }
 
-    /// Energy of a single conversion, in joules: `E_unit · 2^(b/2)`.
+    /// Energy of a single conversion: `E_unit · 2^(b/2)`.
     #[must_use]
-    pub fn energy_per_conversion_j(&self) -> f64 {
+    pub fn energy_per_conversion_j(&self) -> Energy {
         self.energy_unit_j * 2f64.powf(f64::from(self.bits) / 2.0)
     }
 
@@ -90,15 +91,15 @@ impl AdcSpec {
     /// paper's published points (4-bit ⇒ 2.1 GHz, 8-bit ⇒ 1.2 GHz) and
     /// clamped to a 100 MHz floor.
     #[must_use]
-    pub fn sample_rate_hz(&self) -> f64 {
+    pub fn sample_rate_hz(&self) -> Frequency {
         let rate = 2.1e9 + (f64::from(self.bits) - 4.0) * (1.2e9 - 2.1e9) / 4.0;
-        rate.max(100e6)
+        Frequency::from_hz(rate.max(100e6))
     }
 
-    /// Latency of a single conversion in seconds.
+    /// Latency of a single conversion.
     #[must_use]
-    pub fn conversion_latency_s(&self) -> f64 {
-        1.0 / self.sample_rate_hz()
+    pub fn conversion_latency_s(&self) -> Time {
+        self.sample_rate_hz().period()
     }
 
     /// Layout area in µm², following a per-bit geometric law fit to the two
@@ -126,8 +127,8 @@ mod tests {
 
     #[test]
     fn sample_rates_match_paper_points() {
-        assert!((AdcSpec::inca_default().sample_rate_hz() - 2.1e9).abs() < 1.0);
-        assert!((AdcSpec::baseline_default().sample_rate_hz() - 1.2e9).abs() < 1.0);
+        assert!((AdcSpec::inca_default().sample_rate_hz().hertz() - 2.1e9).abs() < 1.0);
+        assert!((AdcSpec::baseline_default().sample_rate_hz().hertz() - 1.2e9).abs() < 1.0);
     }
 
     #[test]
@@ -159,12 +160,12 @@ mod tests {
     #[test]
     fn latency_is_reciprocal_rate() {
         let adc = AdcSpec::inca_default();
-        assert!((adc.conversion_latency_s() * adc.sample_rate_hz() - 1.0).abs() < 1e-12);
+        assert!((adc.conversion_latency_s().seconds() * adc.sample_rate_hz().hertz() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn rate_floor_for_very_high_precision() {
         let adc = AdcSpec::new(16).unwrap();
-        assert_eq!(adc.sample_rate_hz(), 100e6);
+        assert_eq!(adc.sample_rate_hz(), Frequency::from_hz(100e6));
     }
 }

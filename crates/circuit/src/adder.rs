@@ -1,3 +1,4 @@
+use inca_units::{Energy, EnergyPerBit, Time};
 use serde::{Deserialize, Serialize};
 
 /// A binary adder tree reducing `fan_in` partial sums.
@@ -23,11 +24,11 @@ pub struct AdderTree {
 }
 
 impl AdderTree {
-    /// Energy of one `b`-bit addition, joules (22 nm ripple-carry estimate:
+    /// Energy of one `b`-bit addition (22 nm ripple-carry estimate:
     /// ~3 fJ per bit).
-    const ENERGY_PER_BIT_J: f64 = 3e-15;
-    /// Delay of one adder stage, seconds.
-    const STAGE_DELAY_S: f64 = 0.2e-9;
+    const ENERGY_PER_BIT_J: EnergyPerBit = EnergyPerBit::from_joules_per_bit(3e-15);
+    /// Delay of one adder stage.
+    const STAGE_DELAY_S: Time = Time::from_seconds(0.2e-9);
 
     /// Creates a tree reducing `fan_in` operands of `operand_bits` bits.
     ///
@@ -62,17 +63,17 @@ impl AdderTree {
         self.fan_in - 1
     }
 
-    /// Energy of one full reduction, joules. Operand width grows by one bit
-    /// per level; we charge the root width for every adder (conservative).
+    /// Energy of one full reduction. Operand width grows by one bit per
+    /// level; we charge the root width for every adder (conservative).
     #[must_use]
-    pub fn reduce_energy_j(&self) -> f64 {
+    pub fn reduce_energy_j(&self) -> Energy {
         let root_bits = self.operand_bits + self.depth();
         f64::from(self.adder_count()) * f64::from(root_bits) * Self::ENERGY_PER_BIT_J
     }
 
-    /// Latency of one full reduction, seconds.
+    /// Latency of one full reduction.
     #[must_use]
-    pub fn reduce_latency_s(&self) -> f64 {
+    pub fn reduce_latency_s(&self) -> Time {
         f64::from(self.depth()) * Self::STAGE_DELAY_S
     }
 }
@@ -99,10 +100,10 @@ pub struct ShiftAccumulator {
 }
 
 impl ShiftAccumulator {
-    /// Energy per shift-add, joules.
-    const ENERGY_PER_OP_J: f64 = 50e-15;
-    /// Latency per shift-add, seconds.
-    const OP_LATENCY_S: f64 = 0.3e-9;
+    /// Energy per shift-add.
+    const ENERGY_PER_OP_J: Energy = Energy::from_joules(50e-15);
+    /// Latency per shift-add.
+    const OP_LATENCY_S: Time = Time::from_seconds(0.3e-9);
 
     /// Creates a shift-accumulator for `input_bits` serial bits into an
     /// `accumulator_bits`-wide register.
@@ -124,15 +125,15 @@ impl ShiftAccumulator {
         planes_lsb_first.iter().enumerate().map(|(i, &p)| p << i).sum()
     }
 
-    /// Energy of one full recombination (one shift-add per bit), joules.
+    /// Energy of one full recombination (one shift-add per bit).
     #[must_use]
-    pub fn combine_energy_j(&self) -> f64 {
+    pub fn combine_energy_j(&self) -> Energy {
         f64::from(self.input_bits) * Self::ENERGY_PER_OP_J
     }
 
-    /// Latency of one full recombination, seconds.
+    /// Latency of one full recombination.
     #[must_use]
-    pub fn combine_latency_s(&self) -> f64 {
+    pub fn combine_latency_s(&self) -> Time {
         f64::from(self.input_bits) * Self::OP_LATENCY_S
     }
 }
@@ -169,8 +170,8 @@ mod tests {
     #[test]
     fn single_operand_is_free() {
         let t = AdderTree::new(1, 8);
-        assert_eq!(t.reduce_energy_j(), 0.0);
-        assert_eq!(t.reduce_latency_s(), 0.0);
+        assert_eq!(t.reduce_energy_j(), Energy::ZERO);
+        assert_eq!(t.reduce_latency_s(), Time::ZERO);
     }
 
     #[test]
@@ -186,7 +187,7 @@ mod tests {
     fn shift_accumulate_energy_linear_in_bits() {
         let a = ShiftAccumulator::new(4, 16).combine_energy_j();
         let b = ShiftAccumulator::new(8, 16).combine_energy_j();
-        assert!((b - 2.0 * a).abs() < 1e-20);
+        assert!((b - 2.0 * a).abs().joules() < 1e-20);
     }
 
     #[test]

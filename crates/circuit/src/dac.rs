@@ -1,3 +1,4 @@
+use inca_units::Energy;
 use serde::{Deserialize, Serialize};
 
 use crate::{CircuitError, Result};
@@ -15,12 +16,12 @@ use crate::{CircuitError, Result};
 ///
 /// let dac = DacSpec::one_bit();
 /// assert_eq!(dac.bits(), 1);
-/// assert!(dac.energy_per_conversion_j() > 0.0);
+/// assert!(dac.energy_per_conversion_j() > inca_units::Energy::ZERO);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DacSpec {
     bits: u8,
-    energy_unit_j: f64,
+    energy_unit_j: Energy,
     area_unit_um2: f64,
 }
 
@@ -28,7 +29,7 @@ impl DacSpec {
     /// The 1-bit driver used by both INCA and the baseline.
     #[must_use]
     pub fn one_bit() -> Self {
-        Self::new(1).expect("1-bit is valid")
+        Self::new(1).expect("1-bit is valid") // constant precision: infallible. lint: allow(panic-path)
     }
 
     /// Creates a DAC of the given precision.
@@ -44,7 +45,7 @@ impl DacSpec {
         // drivers; NeuroSim-class effective value), area anchored to
         // Table V: 16128 × 128 one-bit DACs = 0.343 mm² ⇒ 0.166 µm² per
         // driver.
-        Ok(Self { bits, energy_unit_j: 0.002e-12, area_unit_um2: 0.166 })
+        Ok(Self { bits, energy_unit_j: Energy::from_joules(0.002e-12), area_unit_um2: 0.166 })
     }
 
     /// Bit precision.
@@ -53,10 +54,10 @@ impl DacSpec {
         self.bits
     }
 
-    /// Energy per conversion in joules (`E_unit · 2^(b-1)` — a binary-
-    /// weighted driver ladder).
+    /// Energy per conversion (`E_unit · 2^(b-1)` — a binary-weighted
+    /// driver ladder).
     #[must_use]
-    pub fn energy_per_conversion_j(&self) -> f64 {
+    pub fn energy_per_conversion_j(&self) -> Energy {
         self.energy_unit_j * 2f64.powi(i32::from(self.bits) - 1)
     }
 

@@ -1,6 +1,7 @@
+use inca_units::{Energy, EnergyPerBit, Time};
 use serde::{Deserialize, Serialize};
 
-use crate::{CircuitError, Result};
+use crate::{constants, CircuitError, Result};
 
 /// An HBM2 DRAM channel model.
 ///
@@ -37,10 +38,10 @@ pub struct DramModel {
     capacity_bytes: u64,
     /// Maximum sustained bandwidth, bytes/s.
     sustained_bw: f64,
-    /// Idle (unloaded) access latency, seconds.
-    idle_latency_s: f64,
-    /// Energy per bit, joules.
-    energy_per_bit_j: f64,
+    /// Idle (unloaded) access latency.
+    idle_latency_s: Time,
+    /// Energy per bit.
+    energy_per_bit_j: EnergyPerBit,
     /// Utilization knee where queueing delay takes off.
     knee: f64,
     /// Exponential growth coefficient past the knee.
@@ -50,10 +51,10 @@ pub struct DramModel {
 /// Statistics of a modelled DRAM transfer.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DramTransferStats {
-    /// Total energy in joules.
-    pub energy_j: f64,
-    /// Total latency in seconds (bandwidth-limited streaming + access).
-    pub latency_s: f64,
+    /// Total energy.
+    pub energy_j: Energy,
+    /// Total latency (bandwidth-limited streaming + access).
+    pub latency_s: Time,
     /// Bytes moved.
     pub bytes: u64,
 }
@@ -66,8 +67,8 @@ impl DramModel {
         Self {
             capacity_bytes: 8 * 1024 * 1024 * 1024,
             sustained_bw: 256e9,
-            idle_latency_s: 100e-9,
-            energy_per_bit_j: 4e-12, // 32 pJ / 8 bits
+            idle_latency_s: Time::from_seconds(100e-9),
+            energy_per_bit_j: constants::HBM2_ENERGY_PER_BIT, // 32 pJ / 8 bits (SS V-A)
             knee: 0.8,
             blowup_k: 20.0,
         }
@@ -82,11 +83,12 @@ impl DramModel {
     pub fn new(
         capacity_bytes: u64,
         sustained_bw: f64,
-        idle_latency_s: f64,
-        energy_per_bit_j: f64,
+        idle_latency_s: Time,
+        energy_per_bit_j: EnergyPerBit,
         knee: f64,
     ) -> Result<Self> {
-        if sustained_bw <= 0.0 || idle_latency_s <= 0.0 || energy_per_bit_j <= 0.0 {
+        if sustained_bw <= 0.0 || idle_latency_s.seconds() <= 0.0 || energy_per_bit_j.joules_per_bit() <= 0.0
+        {
             return Err(CircuitError::InvalidParams("bandwidth, latency and energy must be positive".into()));
         }
         if !(0.0..1.0).contains(&knee) || knee == 0.0 {
@@ -107,17 +109,17 @@ impl DramModel {
         self.sustained_bw
     }
 
-    /// Energy to move `bytes`, in joules (32 pJ per byte at the paper's
-    /// 8-bit granularity).
+    /// Energy to move `bytes` (32 pJ per byte at the paper's 8-bit
+    /// granularity).
     #[must_use]
-    pub fn access_energy_j(&self, bytes: u64) -> f64 {
+    pub fn access_energy_j(&self, bytes: u64) -> Energy {
         bytes as f64 * 8.0 * self.energy_per_bit_j
     }
 
     /// Effective per-access latency at bandwidth utilization `u ∈ [0, 1]` —
     /// the Fig 1b curve.
     #[must_use]
-    pub fn latency_at_utilization(&self, u: f64) -> f64 {
+    pub fn latency_at_utilization(&self, u: f64) -> Time {
         let u = u.clamp(0.0, 1.0);
         if u <= self.knee {
             self.idle_latency_s
@@ -133,7 +135,7 @@ impl DramModel {
         let streaming = bytes as f64 / self.sustained_bw;
         DramTransferStats {
             energy_j: self.access_energy_j(bytes),
-            latency_s: self.latency_at_utilization(u) + streaming,
+            latency_s: self.latency_at_utilization(u) + Time::from_seconds(streaming),
             bytes,
         }
     }
@@ -145,7 +147,7 @@ impl DramModel {
         (0..points)
             .map(|i| {
                 let u = if points <= 1 { 0.0 } else { i as f64 / (points - 1) as f64 };
-                (u, self.latency_at_utilization(u) * 1e9)
+                (u, self.latency_at_utilization(u).nanoseconds())
             })
             .collect()
     }
@@ -164,15 +166,15 @@ mod tests {
     #[test]
     fn energy_is_32pj_per_byte() {
         let d = DramModel::hbm2_8gb();
-        assert!((d.access_energy_j(1) - 32e-12).abs() < 1e-18);
-        assert!((d.access_energy_j(1000) - 32e-9).abs() < 1e-15);
+        assert!((d.access_energy_j(1).joules() - 32e-12).abs() < 1e-18);
+        assert!((d.access_energy_j(1000).joules() - 32e-9).abs() < 1e-15);
     }
 
     #[test]
     fn latency_flat_below_knee() {
         let d = DramModel::hbm2_8gb();
         for u in [0.0, 0.3, 0.5, 0.8] {
-            assert_eq!(d.latency_at_utilization(u), 100e-9, "u={u}");
+            assert_eq!(d.latency_at_utilization(u), Time::from_seconds(100e-9), "u={u}");
         }
     }
 
@@ -215,8 +217,10 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(DramModel::new(1, 0.0, 1e-9, 1e-12, 0.8).is_err());
-        assert!(DramModel::new(1, 1e9, 1e-9, 1e-12, 1.2).is_err());
-        assert!(DramModel::new(1, 1e9, 1e-9, 1e-12, 0.8).is_ok());
+        let t = Time::from_seconds(1e-9);
+        let e = EnergyPerBit::from_joules_per_bit(1e-12);
+        assert!(DramModel::new(1, 0.0, t, e, 0.8).is_err());
+        assert!(DramModel::new(1, 1e9, t, e, 1.2).is_err());
+        assert!(DramModel::new(1, 1e9, t, e, 0.8).is_ok());
     }
 }

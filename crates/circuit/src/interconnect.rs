@@ -1,3 +1,4 @@
+use inca_units::{Energy, EnergyPerBit, Time};
 use serde::{Deserialize, Serialize};
 
 use crate::{CircuitError, Result};
@@ -19,7 +20,7 @@ use crate::{CircuitError, Result};
 /// let tree = HTree::new(168, 9.0)?;
 /// assert_eq!(tree.levels(), 8);
 /// let e = tree.broadcast_energy_j(256);
-/// assert!(e > 0.0);
+/// assert!(e > inca_units::Energy::ZERO);
 /// # Ok::<(), inca_circuit::CircuitError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -27,8 +28,8 @@ pub struct HTree {
     leaves: usize,
     levels: u32,
     die_edge_mm: f64,
-    /// Wire energy per bit per millimetre, joules (22 nm class ~0.08 pJ).
-    energy_per_bit_mm_j: f64,
+    /// Wire energy per bit, per millimetre of wire (22 nm class ~0.08 pJ).
+    energy_per_bit_mm_j: EnergyPerBit,
     /// Wire delay per millimetre, seconds (repeated wire, ~100 ps/mm).
     delay_per_mm_s: f64,
 }
@@ -49,7 +50,13 @@ impl HTree {
             return Err(CircuitError::InvalidParams("die edge must be positive".into()));
         }
         let levels = (usize::BITS - (leaves - 1).leading_zeros()).max(1);
-        Ok(Self { leaves, levels, die_edge_mm, energy_per_bit_mm_j: 0.08e-12, delay_per_mm_s: 100e-12 })
+        Ok(Self {
+            leaves,
+            levels,
+            die_edge_mm,
+            energy_per_bit_mm_j: EnergyPerBit::from_joules_per_bit(0.08e-12),
+            delay_per_mm_s: 100e-12,
+        })
     }
 
     /// Number of branch levels: `ceil(log2(leaves))`.
@@ -65,26 +72,26 @@ impl HTree {
         (1..=self.levels).map(|l| self.die_edge_mm / f64::from(1u32 << l)).sum()
     }
 
-    /// Energy to move `bits` from the root to ONE leaf (unicast), joules.
+    /// Energy to move `bits` from the root to ONE leaf (unicast).
     #[must_use]
-    pub fn unicast_energy_j(&self, bits: u64) -> f64 {
+    pub fn unicast_energy_j(&self, bits: u64) -> Energy {
         bits as f64 * self.root_to_leaf_mm() * self.energy_per_bit_mm_j
     }
 
-    /// Energy to broadcast `bits` from the root to ALL leaves, joules.
+    /// Energy to broadcast `bits` from the root to ALL leaves.
     /// Every tree segment is driven once; total segment length is
     /// `Σ_level 2^level · edge / 2^level = levels · edge` halved per the
     /// H-tree fold.
     #[must_use]
-    pub fn broadcast_energy_j(&self, bits: u64) -> f64 {
+    pub fn broadcast_energy_j(&self, bits: u64) -> Energy {
         let total_wire_mm = f64::from(self.levels) * self.die_edge_mm / 2.0;
         bits as f64 * total_wire_mm * self.energy_per_bit_mm_j
     }
 
-    /// Root-to-leaf latency, seconds.
+    /// Root-to-leaf latency.
     #[must_use]
-    pub fn latency_s(&self) -> f64 {
-        self.root_to_leaf_mm() * self.delay_per_mm_s
+    pub fn latency_s(&self) -> Time {
+        Time::from_seconds(self.root_to_leaf_mm() * self.delay_per_mm_s)
     }
 
     /// Leaves served.
@@ -126,7 +133,7 @@ mod tests {
         let t = HTree::new(64, 8.0).unwrap();
         let e1 = t.unicast_energy_j(100);
         let e2 = t.unicast_energy_j(200);
-        assert!((e2 - 2.0 * e1).abs() < 1e-20);
+        assert!((e2 - 2.0 * e1).abs().joules() < 1e-20);
     }
 
     #[test]
@@ -138,7 +145,7 @@ mod tests {
     #[test]
     fn latency_positive_and_bounded() {
         let t = HTree::new(168, 9.0).unwrap();
-        let l = t.latency_s();
+        let l = t.latency_s().seconds();
         assert!(l > 0.0 && l < 2e-9, "latency {l}");
     }
 }

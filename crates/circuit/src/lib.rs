@@ -37,6 +37,7 @@
 mod adc;
 mod adder;
 mod bus;
+pub mod constants;
 mod dac;
 mod dram;
 mod error;

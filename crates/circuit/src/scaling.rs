@@ -1,19 +1,24 @@
+use inca_units::{Area, Energy, Time};
 use serde::{Deserialize, Serialize};
 
-use crate::{CircuitError, Result};
+use crate::{constants, CircuitError, Result};
 
 /// Technology-node scaling rules.
 ///
 /// The paper lays out the 2T1R cell in TSMC 65 nm, then scales the circuit
 /// results "according to the rules of scaling to match the technology node
 /// selected in the accelerator simulation" (§V-A) — 22 nm with a linear
-/// scale factor of 0.34 (Table II).
+/// scale factor of 0.34 (Table II, [`constants::TECH_SCALE_FACTOR_65_TO_22`]).
 ///
 /// Classic (Dennard-flavoured) rules with linear factor `s < 1`:
 ///
 /// * area scales with `s²`,
 /// * delay scales with `s`,
 /// * dynamic energy scales with `s³` (capacitance × V² at constant field).
+///
+/// The typed entry points ([`TechScaling::scale_area`] and friends) keep
+/// the dimension through the scaling; the `_raw` variants exist for call
+/// sites working in non-canonical units (e.g. cell layouts in µm²).
 ///
 /// # Examples
 ///
@@ -22,7 +27,7 @@ use crate::{CircuitError, Result};
 ///
 /// let s = TechScaling::paper_default(); // 65 nm -> 22 nm, factor 0.34
 /// assert!((s.factor() - 0.34).abs() < 1e-12);
-/// assert!((s.scale_area(100.0) - 100.0 * 0.34 * 0.34).abs() < 1e-9);
+/// assert!((s.scale_area_raw(100.0) - 100.0 * 0.34 * 0.34).abs() < 1e-9);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TechScaling {
@@ -35,7 +40,7 @@ impl TechScaling {
     /// The paper's 65 nm → 22 nm scaling with factor 0.34.
     #[must_use]
     pub fn paper_default() -> Self {
-        Self { from_nm: 65.0, to_nm: 22.0, factor: 0.34 }
+        Self { from_nm: 65.0, to_nm: 22.0, factor: constants::TECH_SCALE_FACTOR_65_TO_22 }
     }
 
     /// Creates a scaling between two nodes with an explicit linear factor.
@@ -79,21 +84,40 @@ impl TechScaling {
         self.factor
     }
 
-    /// Scales an area (any squared-length unit).
+    /// Scales an area (`s²` law).
     #[must_use]
-    pub fn scale_area(&self, area: f64) -> f64 {
+    pub fn scale_area(&self, area: Area) -> Area {
         area * self.factor * self.factor
     }
 
-    /// Scales a delay/latency.
+    /// Scales a delay/latency (`s` law).
     #[must_use]
-    pub fn scale_delay(&self, delay: f64) -> f64 {
+    pub fn scale_delay(&self, delay: Time) -> Time {
         delay * self.factor
     }
 
-    /// Scales a dynamic energy.
+    /// Scales a dynamic energy (`s³` law).
     #[must_use]
-    pub fn scale_energy(&self, energy: f64) -> f64 {
+    pub fn scale_energy(&self, energy: Energy) -> Energy {
+        energy * self.factor.powi(3)
+    }
+
+    /// Scales a raw area value in any squared-length unit (e.g. µm² cell
+    /// layouts that never enter the mm²-typed area model directly).
+    #[must_use]
+    pub fn scale_area_raw(&self, area: f64) -> f64 {
+        area * self.factor * self.factor
+    }
+
+    /// Scales a raw delay value.
+    #[must_use]
+    pub fn scale_delay_raw(&self, delay: f64) -> f64 {
+        delay * self.factor
+    }
+
+    /// Scales a raw dynamic-energy value.
+    #[must_use]
+    pub fn scale_energy_raw(&self, energy: f64) -> f64 {
         energy * self.factor.powi(3)
     }
 }
@@ -126,16 +150,24 @@ mod tests {
     #[test]
     fn scaling_laws() {
         let s = TechScaling::paper_default();
-        assert!((s.scale_area(1.0) - 0.1156).abs() < 1e-9);
-        assert!((s.scale_delay(1.0) - 0.34).abs() < 1e-12);
-        assert!((s.scale_energy(1.0) - 0.039304).abs() < 1e-9);
+        assert!((s.scale_area_raw(1.0) - 0.1156).abs() < 1e-9);
+        assert!((s.scale_delay_raw(1.0) - 0.34).abs() < 1e-12);
+        assert!((s.scale_energy_raw(1.0) - 0.039304).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typed_and_raw_scaling_agree_bitwise() {
+        let s = TechScaling::paper_default();
+        assert_eq!(s.scale_area(Area::from_mm2(7.5)).mm2(), s.scale_area_raw(7.5));
+        assert_eq!(s.scale_delay(Time::from_seconds(2e-9)).seconds(), s.scale_delay_raw(2e-9));
+        assert_eq!(s.scale_energy(Energy::from_joules(3e-12)).joules(), s.scale_energy_raw(3e-12));
     }
 
     #[test]
     fn baseline_cell_scaling_matches_paper() {
         // 540 × 485 nm = 0.26 µm² at 65 nm → 0.030 µm² at 22 nm (§V-B6).
         let s = TechScaling::paper_default();
-        let scaled = s.scale_area(0.540 * 0.485);
+        let scaled = s.scale_area_raw(0.540 * 0.485);
         assert!((scaled - 0.030).abs() < 0.001, "got {scaled}");
     }
 

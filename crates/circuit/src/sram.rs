@@ -1,35 +1,38 @@
+use inca_units::{Energy, EnergyPerBeat, Power, Time};
 use serde::{Deserialize, Serialize};
 
-use crate::{Bus, CircuitError, Result};
+use crate::{constants, Bus, CircuitError, Result};
 
 /// An on-chip SRAM buffer (the "buffers" of Fig 1a / Fig 6).
 ///
 /// Both architectures use 64 KB buffers with a 256-bit port (Table II).
 /// Energy per 256-bit access is calibrated to NeuroSim-class 22 nm SRAM
 /// macros (~20 pJ per 256-bit read, writes ~10 % more expensive); these are
-/// the constants that make DRAM+buffer dominate WS energy in Fig 6.
+/// the constants that make DRAM+buffer dominate WS energy in Fig 6 — see
+/// [`constants::SRAM_READ_ENERGY_PER_BEAT`].
 ///
 /// # Examples
 ///
 /// ```
 /// use inca_circuit::SramBuffer;
+/// use inca_units::Energy;
 ///
 /// let buf = SramBuffer::paper_default();
 /// let e = buf.read_energy_j(64); // read 64 bytes = two 256-bit beats
-/// assert!(e > 0.0);
+/// assert!(e > Energy::ZERO);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SramBuffer {
     capacity_bytes: usize,
     port: Bus,
-    /// Energy of one full-width read beat, joules.
-    read_energy_per_beat_j: f64,
-    /// Energy of one full-width write beat, joules.
-    write_energy_per_beat_j: f64,
-    /// Access latency of one beat, seconds.
-    beat_latency_s: f64,
-    /// Leakage power, watts.
-    leakage_w: f64,
+    /// Energy of one full-width read beat.
+    read_energy_per_beat_j: EnergyPerBeat,
+    /// Energy of one full-width write beat.
+    write_energy_per_beat_j: EnergyPerBeat,
+    /// Access latency of one beat.
+    beat_latency_s: Time,
+    /// Leakage power.
+    leakage_w: Power,
 }
 
 impl SramBuffer {
@@ -39,10 +42,10 @@ impl SramBuffer {
         Self {
             capacity_bytes: 64 * 1024,
             port: Bus::new(256),
-            read_energy_per_beat_j: 20e-12,
-            write_energy_per_beat_j: 22e-12,
-            beat_latency_s: 1e-9,
-            leakage_w: 5e-6,
+            read_energy_per_beat_j: constants::SRAM_READ_ENERGY_PER_BEAT,
+            write_energy_per_beat_j: constants::SRAM_WRITE_ENERGY_PER_BEAT,
+            beat_latency_s: Time::from_seconds(1e-9),
+            leakage_w: Power::from_watts(5e-6),
         }
     }
 
@@ -55,14 +58,17 @@ impl SramBuffer {
     pub fn new(
         capacity_bytes: usize,
         port: Bus,
-        read_energy_per_beat_j: f64,
-        write_energy_per_beat_j: f64,
-        beat_latency_s: f64,
+        read_energy_per_beat_j: EnergyPerBeat,
+        write_energy_per_beat_j: EnergyPerBeat,
+        beat_latency_s: Time,
     ) -> Result<Self> {
         if capacity_bytes == 0 {
             return Err(CircuitError::InvalidParams("buffer capacity must be positive".into()));
         }
-        if read_energy_per_beat_j <= 0.0 || write_energy_per_beat_j <= 0.0 || beat_latency_s <= 0.0 {
+        if read_energy_per_beat_j.joules_per_beat() <= 0.0
+            || write_energy_per_beat_j.joules_per_beat() <= 0.0
+            || beat_latency_s.seconds() <= 0.0
+        {
             return Err(CircuitError::InvalidParams("energies and latency must be positive".into()));
         }
         Ok(Self {
@@ -71,7 +77,7 @@ impl SramBuffer {
             read_energy_per_beat_j,
             write_energy_per_beat_j,
             beat_latency_s,
-            leakage_w: 5e-6,
+            leakage_w: Power::from_watts(5e-6),
         })
     }
 
@@ -93,28 +99,28 @@ impl SramBuffer {
         self.port.transfers_for_bits(bytes * 8)
     }
 
-    /// Energy to read `bytes`, in joules.
+    /// Energy to read `bytes`.
     #[must_use]
-    pub fn read_energy_j(&self, bytes: u64) -> f64 {
+    pub fn read_energy_j(&self, bytes: u64) -> Energy {
         self.beats(bytes) as f64 * self.read_energy_per_beat_j
     }
 
-    /// Energy to write `bytes`, in joules.
+    /// Energy to write `bytes`.
     #[must_use]
-    pub fn write_energy_j(&self, bytes: u64) -> f64 {
+    pub fn write_energy_j(&self, bytes: u64) -> Energy {
         self.beats(bytes) as f64 * self.write_energy_per_beat_j
     }
 
-    /// Latency to stream `bytes` through the port, in seconds.
+    /// Latency to stream `bytes` through the port.
     #[must_use]
-    pub fn access_latency_s(&self, bytes: u64) -> f64 {
+    pub fn access_latency_s(&self, bytes: u64) -> Time {
         self.beats(bytes) as f64 * self.beat_latency_s
     }
 
-    /// Leakage energy over a window of `seconds`.
+    /// Leakage energy over a time window (negative windows clamp to zero).
     #[must_use]
-    pub fn leakage_energy_j(&self, seconds: f64) -> f64 {
-        self.leakage_w * seconds.max(0.0)
+    pub fn leakage_energy_j(&self, window: Time) -> Energy {
+        self.leakage_w * window.max(Time::ZERO)
     }
 
     /// Checks that `bytes` fits in the buffer.
@@ -173,14 +179,18 @@ mod tests {
 
     #[test]
     fn invalid_construction_rejected() {
-        assert!(SramBuffer::new(0, Bus::new(256), 1e-12, 1e-12, 1e-9).is_err());
-        assert!(SramBuffer::new(1024, Bus::new(256), 0.0, 1e-12, 1e-9).is_err());
+        let e = EnergyPerBeat::from_joules_per_beat(1e-12);
+        let t = Time::from_seconds(1e-9);
+        assert!(SramBuffer::new(0, Bus::new(256), e, e, t).is_err());
+        assert!(SramBuffer::new(1024, Bus::new(256), EnergyPerBeat::ZERO, e, t).is_err());
     }
 
     #[test]
     fn leakage_scales_with_time_and_clamps_negative() {
         let b = SramBuffer::paper_default();
-        assert_eq!(b.leakage_energy_j(-1.0), 0.0);
-        assert!((b.leakage_energy_j(2.0) - 2.0 * b.leakage_energy_j(1.0)).abs() < 1e-18);
+        assert_eq!(b.leakage_energy_j(Time::from_seconds(-1.0)), Energy::ZERO);
+        let twice = b.leakage_energy_j(Time::from_seconds(2.0));
+        let once = b.leakage_energy_j(Time::from_seconds(1.0));
+        assert!((twice - 2.0 * once).abs().joules() < 1e-18);
     }
 }

@@ -14,7 +14,7 @@ use crate::{Error, Result};
 ///
 /// let inca = Accelerator::inca();
 /// let stats = inca.run_inference(Model::ResNet18);
-/// assert!(stats.energy_per_image_j() > 0.0);
+/// assert!(stats.energy_per_image_j().joules() > 0.0);
 /// assert!(inca.area_mm2() < Accelerator::baseline().area_mm2());
 /// ```
 #[derive(Debug, Clone)]
@@ -74,8 +74,8 @@ impl Accelerator {
 
     /// Total chip area (Table V).
     #[must_use]
-    pub fn area_mm2(&self) -> f64 {
-        AreaModel::new().breakdown(&self.config).total_mm2()
+    pub fn area_mm2(&self) -> inca_units::Area {
+        inca_units::Area::from_mm2(AreaModel::new().breakdown(&self.config).total_mm2())
     }
 
     /// Memory footprint for `model` (Table IV).

@@ -164,7 +164,7 @@ where
             None => Ok(()),
         }
     })
-    .expect("hw-exec thread scope")
+    .expect("hw-exec thread scope") // join only forwards worker panics. lint: allow(panic-path)
 }
 
 #[cfg(test)]

@@ -518,7 +518,7 @@ fn ablation_adc_bits() -> (String, serde_json::Value) {
     let mut rows = Vec::new();
     for bits in [2u8, 4, 6, 8] {
         let mut cfg = ArchConfig::inca_paper();
-        cfg.adc = AdcSpec::new(bits).expect("valid precision");
+        cfg.adc = AdcSpec::new(bits).expect("valid precision"); // swept bits are valid. lint: allow(panic-path)
         let e = simulate_inference(&cfg, &spec).energy.total_j();
         let _ = writeln!(text, "{bits:>8} | {e:>10.4e}");
         rows.push(json!({ "bits": bits, "energy_j": e }));
@@ -632,8 +632,8 @@ fn hw_inference(opts: &ExperimentOpts) -> (String, serde_json::Value) {
     }
 
     // Program the hardware and compare classification.
-    let hw_conv = HwConv::from_float(conv.weights(), conv.bias().data(), 1, 1).expect("conv programs");
-    let hw_fc = HwLinear::from_float(fc.weights(), fc.bias().data()).expect("fc programs");
+    let hw_conv = HwConv::from_float(conv.weights(), conv.bias().data(), 1, 1).expect("conv programs"); // lint: allow(panic-path)
+    let hw_fc = HwLinear::from_float(fc.weights(), fc.bias().data()).expect("fc programs"); // lint: allow(panic-path)
     let mut float_ok = 0usize;
     let mut hw_ok = 0usize;
     let mut agree = 0usize;
@@ -642,7 +642,7 @@ fn hw_inference(opts: &ExperimentOpts) -> (String, serde_json::Value) {
         let f_logits = fc.forward(&flat.forward(&pool.forward(&relu.forward(&conv.forward(&x)))));
         let f = f_logits.argmax();
         // Hardware path: HwConv, digital ReLU+pool, HwLinear.
-        let hy = hw_conv.forward(&x).expect("hw conv");
+        let hy = hw_conv.forward(&x).expect("hw conv"); // lint: allow(panic-path)
         let mut pooled = inca_nn::Tensor::zeros(&[1, 6, side / 2, side / 2]);
         for c in 0..6 {
             for yy in 0..side / 2 {
@@ -657,7 +657,7 @@ fn hw_inference(opts: &ExperimentOpts) -> (String, serde_json::Value) {
                 }
             }
         }
-        let h = hw_fc.forward(&pooled.reshaped(&[1, 6 * (side / 2) * (side / 2)])).expect("hw fc").argmax();
+        let h = hw_fc.forward(&pooled.reshaped(&[1, 6 * (side / 2) * (side / 2)])).expect("hw fc").argmax(); // lint: allow(panic-path)
         float_ok += usize::from(f == y[0]);
         hw_ok += usize::from(h == y[0]);
         agree += usize::from(f == h);
@@ -725,7 +725,7 @@ fn ablation_chip_capacity() -> (String, serde_json::Value) {
             "{:>10} | {:>12.4e} | {:>21.2}x | {:>15.1}%",
             capacity,
             r.makespan_s,
-            r.makespan_s / unbounded.makespan_s.max(1e-30),
+            r.makespan_s / unbounded.makespan_s.max(inca_units::Time::from_seconds(1e-30)),
             r.chip_utilization * 100.0
         );
         rows.push(json!({ "capacity": capacity, "result": r }));

@@ -87,6 +87,7 @@ impl RramCell {
     /// Panics if `level >= 2^bits`; use [`RramCell::try_program_level`] for a
     /// fallible variant.
     pub fn program_level(&mut self, level: u32, bits: u8, params: &DeviceParams) -> f64 {
+        // documented panicking wrapper. lint: allow(panic-path)
         self.try_program_level(level, bits, params).expect("level out of range")
     }
 

@@ -41,8 +41,10 @@ pub struct DeviceParams {
     /// Switching threshold voltage in volts.
     pub threshold_voltage: f64,
     /// Read pulse width in seconds.
+    // lint: allow(raw-unit)
     pub read_pulse_s: f64,
     /// Write pulse width in seconds.
+    // lint: allow(raw-unit)
     pub write_pulse_s: f64,
     /// Power drawn by a cell in the off state during a read, in watts.
     pub off_cell_power_w: f64,
@@ -127,6 +129,9 @@ impl DeviceParams {
     /// linearly interpolated between the off-cell and on-cell power by the
     /// normalized conductance `g_norm` in `[0, 1]`.
     #[must_use]
+    // Device-primitive scalar feeding f64 pulse/energy arithmetic;
+    // wrapped into newtypes at the sim boundary (DESIGN.md §10).
+    // lint: allow(raw-unit)
     pub fn read_energy_j(&self, g_norm: f64) -> f64 {
         let g = g_norm.clamp(0.0, 1.0);
         let power = self.off_cell_power_w + g * (self.on_cell_power_w - self.off_cell_power_w);
@@ -139,6 +144,9 @@ impl DeviceParams {
     /// the dissipated power scales with `(V_w / V_r)^2` relative to the
     /// on-cell read power for a resistive element.
     #[must_use]
+    // Device-primitive scalar feeding f64 pulse/energy arithmetic;
+    // wrapped into newtypes at the sim boundary (DESIGN.md §10).
+    // lint: allow(raw-unit)
     pub fn write_energy_j(&self) -> f64 {
         let v_ratio = self.write_voltage / self.read_voltage;
         self.on_cell_power_w * v_ratio * v_ratio * self.write_pulse_s

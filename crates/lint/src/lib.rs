@@ -1,0 +1,131 @@
+//! `inca-lint`: a self-contained static analyzer for the INCA workspace.
+//!
+//! Four rules guard the invariants the dimensional-correctness layer
+//! introduced (see `DESIGN.md` §10):
+//!
+//! 1. **raw-unit** — public unit-suffixed API must use `inca-units`
+//!    newtypes, not bare floats.
+//! 2. **determinism** — `inca-sim`/`inca-serve` must not read wall
+//!    clocks or OS entropy, and report paths must not iterate
+//!    unordered `HashMap`s.
+//! 3. **panic-path** — no `unwrap`/`expect`/`panic!` in non-test
+//!    library code.
+//! 4. **telemetry-ownership** — `record(Event::…)` call sites must
+//!    live in the event's owning crate per the DESIGN.md map.
+//!
+//! The analyzer is dependency-free: a hand-rolled lexer (`lexer`), a
+//! rule engine over the token stream (`rules`) and a stable JSON
+//! emitter (`report`). Run it with `cargo run -p inca-lint`; it exits
+//! non-zero when any unwaived violation exists.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use rules::{Finding, OwnershipMap, SourceFile};
+
+/// Everything one lint run produces.
+pub struct LintRun {
+    /// All findings (violations and waived), sorted by file, line, rule.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintRun {
+    /// Findings that are not waived — the CI-failing set.
+    #[must_use]
+    pub fn violations(&self) -> Vec<&Finding> {
+        self.findings.iter().filter(|f| !f.waived).collect()
+    }
+}
+
+/// Collects every `crates/<name>/src/**/*.rs` under `root`, in sorted
+/// order. Returns `(crate_name, path)` pairs.
+///
+/// # Errors
+///
+/// Returns a message naming the unreadable directory.
+pub fn collect_sources(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let entries =
+        std::fs::read_dir(&crates_dir).map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> =
+        entries.filter_map(std::result::Result::ok).map(|e| e.path()).filter(|p| p.is_dir()).collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        let src = dir.join("src");
+        if src.is_dir() {
+            let mut files = Vec::new();
+            walk_rs(&src, &mut files)?;
+            files.sort();
+            out.extend(files.into_iter().map(|f| (name.clone(), f)));
+        }
+    }
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries.filter_map(std::result::Result::ok) {
+        let p = entry.path();
+        if p.is_dir() {
+            walk_rs(&p, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Runs all four rules over the workspace at `root`.
+///
+/// `owners` is `None` when no ownership map is available (the
+/// telemetry-ownership rule is then skipped).
+///
+/// # Errors
+///
+/// Returns a message if the source tree cannot be read.
+pub fn run(root: &Path, owners: Option<&OwnershipMap>) -> Result<LintRun, String> {
+    let sources = collect_sources(root)?;
+    let mut findings = Vec::new();
+    let files_scanned = sources.len();
+    for (crate_name, path) in sources {
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
+        let file = SourceFile::new(&rel, &crate_name, &file_name, &src);
+        rules::check_raw_unit(&file, &mut findings);
+        rules::check_determinism(&file, &mut findings);
+        rules::check_panic_path(&file, &mut findings);
+        if let Some(map) = owners {
+            rules::check_telemetry_ownership(&file, map, &mut findings);
+        }
+    }
+    findings.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(LintRun { findings, files_scanned })
+}
+
+/// Loads the telemetry ownership map from a DESIGN.md-style file.
+///
+/// Returns `None` when the file does not exist or holds no map.
+#[must_use]
+pub fn load_ownership(path: &Path) -> Option<OwnershipMap> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let map = rules::parse_ownership(&text);
+    if map.is_empty() {
+        None
+    } else {
+        Some(map)
+    }
+}

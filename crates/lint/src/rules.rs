@@ -1,0 +1,640 @@
+//! The four lint rules.
+//!
+//! * `raw-unit` (L1) — public items whose names carry a unit suffix
+//!   (`_j`, `_s`, `_pj`, `_mm2`, `_hz`) must be typed with an
+//!   `inca-units` newtype, not a bare `f64`/`f32`.
+//! * `determinism` (L2) — report-producing crates (`inca-sim`,
+//!   `inca-serve`) must not read wall clocks or entropy, and report-path
+//!   modules must not iterate unordered `HashMap`s.
+//! * `panic-path` (L3) — library code must not call `unwrap`/`expect`
+//!   or invoke `panic!`-family macros outside `#[cfg(test)]`.
+//! * `telemetry-ownership` (L4) — `record(Event::…)`/`incr(Event::…)`
+//!   call sites must live in the crate that owns the event per the
+//!   machine-readable map in `DESIGN.md`.
+//!
+//! Every rule is waivable per line with `// lint: allow(rule-name)` —
+//! on the offending line or the line directly above. Waived findings
+//! are counted and reported, never silently dropped.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use crate::lexer::{Lexed, Token};
+
+/// The `inca-units` newtype names L1 accepts as "typed".
+const UNIT_TYPES: [&str; 9] = [
+    "Energy",
+    "Time",
+    "Power",
+    "Area",
+    "Frequency",
+    "PowerDensity",
+    "EnergyDensity",
+    "EnergyPerBit",
+    "EnergyPerBeat",
+];
+
+/// Name suffixes L1 recognizes as unit-bearing.
+const UNIT_SUFFIXES: [&str; 5] = ["_j", "_s", "_pj", "_mm2", "_hz"];
+
+/// One finding (violation or waived violation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`raw-unit`, `determinism`, `panic-path`,
+    /// `telemetry-ownership`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// Whether a `lint: allow` comment waived this finding.
+    pub waived: bool,
+}
+
+/// One source file prepared for rule checks.
+pub struct SourceFile {
+    /// Workspace-relative path (used in findings).
+    pub rel_path: String,
+    /// The `<name>` of the owning `crates/<name>/` directory.
+    pub crate_name: String,
+    /// Bare file name (`report.rs`).
+    pub file_name: String,
+    /// Lexed tokens and waivers.
+    pub lexed: Lexed,
+    /// Token indices inside `#[cfg(test)]` items (excluded from rules).
+    pub test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Lexes `src` and computes the `#[cfg(test)]` mask.
+    #[must_use]
+    pub fn new(rel_path: &str, crate_name: &str, file_name: &str, src: &str) -> Self {
+        let lexed = crate::lexer::lex(src);
+        let test_mask = cfg_test_mask(&lexed.tokens);
+        Self {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            file_name: file_name.to_string(),
+            lexed,
+            test_mask,
+        }
+    }
+
+    fn tokens(&self) -> &[Token] {
+        &self.lexed.tokens
+    }
+
+    /// Records a finding, consulting the waiver map.
+    fn push(&self, out: &mut Vec<Finding>, rule: &'static str, line: u32, message: String) {
+        out.push(Finding {
+            rule,
+            file: self.rel_path.clone(),
+            line,
+            message,
+            waived: self.lexed.is_waived(rule, line),
+        });
+    }
+}
+
+/// Marks every token that belongs to an item annotated `#[cfg(test)]`.
+fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Find the end of the annotated item: first `;` at depth 0 or
+            // the matching `}` of its first `{`.
+            let mut j = i + 7; // past `# [ cfg ( test ) ]`
+            let mut depth = 0usize;
+            while j < tokens.len() {
+                if tokens[j].is_punct('{') {
+                    depth += 1;
+                } else if tokens[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if tokens[j].is_punct(';') && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take((j + 1).min(tokens.len())).skip(i) {
+                *m = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Whether tokens at `i` spell `#[cfg(test)]`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let spell = ['#', '[', '(', ')', ']'];
+    let idents = ["cfg", "test"];
+    tokens.len() > i + 6
+        && tokens[i].is_punct(spell[0])
+        && tokens[i + 1].is_punct(spell[1])
+        && tokens[i + 2].ident() == Some(idents[0])
+        && tokens[i + 3].is_punct(spell[2])
+        && tokens[i + 4].ident() == Some(idents[1])
+        && tokens[i + 5].is_punct(spell[3])
+        && tokens[i + 6].is_punct(spell[4])
+}
+
+/// L1: public unit-suffixed items must use `inca-units` newtypes.
+pub fn check_raw_unit(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.crate_name == "units" {
+        return; // the definitions themselves
+    }
+    let toks = file.tokens();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if file.test_mask[i] || toks[i].ident() != Some("pub") {
+            i += 1;
+            continue;
+        }
+        // `pub(crate)` and friends are not public API.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        // Skip qualifiers; consts/statics then look like `NAME: TYPE` and
+        // funnel through the same name-colon-type arm as struct fields.
+        while toks.get(j).is_some_and(|t| {
+            matches!(t.ident(), Some("const" | "static" | "unsafe" | "async" | "extern" | "mut"))
+        }) {
+            j += 1;
+        }
+        match toks.get(j).and_then(Token::ident) {
+            Some("fn") => {
+                if let Some((name, line)) = toks.get(j + 1).and_then(|t| t.ident().map(|n| (n, t.line))) {
+                    if has_unit_suffix(name) {
+                        let ty = fn_return_type(toks, j + 2);
+                        if type_is_raw_float(&ty) {
+                            file.push(
+                                out,
+                                "raw-unit",
+                                line,
+                                format!("public fn `{name}` has a unit suffix but returns a bare float; return an inca-units newtype"),
+                            );
+                        }
+                    }
+                }
+                i = j + 2;
+            }
+            // `pub name_j: f64` struct field, `pub const NAME_J: f64`.
+            Some(name)
+                if !matches!(
+                    name,
+                    "fn" | "struct"
+                        | "enum"
+                        | "mod"
+                        | "use"
+                        | "type"
+                        | "trait"
+                        | "impl"
+                        | "crate"
+                        | "self"
+                        | "super"
+                ) && toks.get(j + 1).is_some_and(|t| t.is_punct(':')) =>
+            {
+                if has_unit_suffix(name) {
+                    let line = toks[j].line;
+                    let ty = field_type(toks, j + 2);
+                    if type_is_raw_float(&ty) {
+                        file.push(
+                            out,
+                            "raw-unit",
+                            line,
+                            format!("public item `{name}` has a unit suffix but a bare float type; use an inca-units newtype"),
+                        );
+                    }
+                }
+                i = j + 2;
+            }
+            _ => i = j + 1,
+        }
+    }
+}
+
+/// Whether `name` (already lowercased for consts) ends in a unit suffix.
+fn has_unit_suffix(name: &str) -> bool {
+    let lower = name.to_lowercase();
+    UNIT_SUFFIXES.iter().any(|s| lower.ends_with(s))
+}
+
+/// A type-token list contains a raw float and no unit newtype.
+fn type_is_raw_float(ty: &[String]) -> bool {
+    let has_float = ty.iter().any(|t| t == "f64" || t == "f32");
+    let has_unit = ty.iter().any(|t| UNIT_TYPES.contains(&t.as_str()));
+    has_float && !has_unit
+}
+
+/// Return-type idents of a fn whose parameter `(` starts at or after `i`.
+fn fn_return_type(toks: &[Token], mut i: usize) -> Vec<String> {
+    // Skip generics and the parameter list.
+    while i < toks.len() && !toks[i].is_punct('(') {
+        if toks[i].is_punct('{') || toks[i].is_punct(';') {
+            return Vec::new();
+        }
+        i += 1;
+    }
+    let mut depth = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        i += 1;
+    }
+    // `-> Type` until the body/terminator.
+    if !(toks.get(i + 1).is_some_and(|t| t.is_punct('-')) && toks.get(i + 2).is_some_and(|t| t.is_punct('>')))
+    {
+        return Vec::new();
+    }
+    let mut ty = Vec::new();
+    let mut j = i + 3;
+    while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+        if let Some(id) = toks[j].ident() {
+            if id == "where" {
+                break;
+            }
+            ty.push(id.to_string());
+        }
+        j += 1;
+    }
+    ty
+}
+
+/// Idents between a leading punct in `open` and the first punct in
+/// `close` at angle-depth 0.
+fn tokens_between(toks: &[Token], mut i: usize, open: &[char], close: &[char]) -> Vec<String> {
+    if !open.iter().any(|&c| toks.get(i).is_some_and(|t| t.is_punct(c))) {
+        return Vec::new();
+    }
+    i += 1;
+    let mut ty = Vec::new();
+    let mut angle = 0i32;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle <= 0 && close.iter().any(|&c| t.is_punct(c)) {
+            break;
+        } else if let Some(id) = t.ident() {
+            ty.push(id.to_string());
+        }
+        i += 1;
+    }
+    ty
+}
+
+/// Item type idents: from the `:` at `i - 1` until the field or const
+/// terminator.
+fn field_type(toks: &[Token], i: usize) -> Vec<String> {
+    tokens_between(toks, i - 1, &[':'], &[',', '}', ';', '='])
+}
+
+/// L2: determinism in report-producing crates.
+pub fn check_determinism(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.crate_name != "sim" && file.crate_name != "serve" {
+        return;
+    }
+    let report_path = matches!(file.file_name.as_str(), "report.rs" | "sweep.rs" | "metrics.rs");
+    let toks = file.tokens();
+    for (idx, t) in toks.iter().enumerate() {
+        if file.test_mask[idx] {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        match id {
+            "Instant" | "SystemTime" => file.push(
+                out,
+                "determinism",
+                t.line,
+                format!("`{id}` reads the wall clock; report crates must stay virtual-time deterministic"),
+            ),
+            "thread_rng" | "from_entropy" => file.push(
+                out,
+                "determinism",
+                t.line,
+                format!("`{id}` draws OS entropy; use a seeded `StdRng` stream instead"),
+            ),
+            "HashMap" if report_path => file.push(
+                out,
+                "determinism",
+                t.line,
+                "`HashMap` iteration order is unspecified; report paths must use `BTreeMap` or sort before emitting".to_string(),
+            ),
+            _ => {}
+        }
+    }
+}
+
+/// L3: no panic paths in non-test library code.
+///
+/// Binary entry points (`src/main.rs`, `src/bin/**`) are exempt: a CLI
+/// that cannot proceed should abort with a message, and those crates'
+/// library surface is checked separately.
+pub fn check_panic_path(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.file_name == "main.rs" || file.rel_path.contains("/src/bin/") {
+        return;
+    }
+    let toks = file.tokens();
+    for (idx, t) in toks.iter().enumerate() {
+        if file.test_mask[idx] {
+            continue;
+        }
+        let Some(id) = t.ident() else { continue };
+        match id {
+            "unwrap" | "expect" => {
+                let dotted = idx > 0 && toks[idx - 1].is_punct('.');
+                let called = toks.get(idx + 1).is_some_and(|n| n.is_punct('('));
+                if dotted && called {
+                    file.push(
+                        out,
+                        "panic-path",
+                        t.line,
+                        format!("`.{id}()` panics on the error path; return a typed error or add a documented waiver"),
+                    );
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if toks.get(idx + 1).is_some_and(|n| n.is_punct('!')) =>
+            {
+                file.push(
+                    out,
+                    "panic-path",
+                    t.line,
+                    format!("`{id}!` aborts the process; return a typed error or add a documented waiver"),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The telemetry ownership map: event variant → crates allowed to record
+/// it.
+pub type OwnershipMap = BTreeMap<String, BTreeSet<String>>;
+
+/// L4: `record(Event::…)`/`incr(Event::…)` call sites must live in an
+/// owning crate.
+pub fn check_telemetry_ownership(file: &SourceFile, owners: &OwnershipMap, out: &mut Vec<Finding>) {
+    if file.crate_name == "telemetry" {
+        return; // the definitions and their plumbing
+    }
+    let toks = file.tokens();
+    for idx in 0..toks.len() {
+        if file.test_mask[idx] {
+            continue;
+        }
+        // Match `Event :: Variant`.
+        if toks[idx].ident() != Some("Event")
+            || !(toks.get(idx + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(idx + 2).is_some_and(|t| t.is_punct(':')))
+        {
+            continue;
+        }
+        let Some(variant) = toks.get(idx + 3).and_then(Token::ident) else { continue };
+        // Only call sites: `record(` or `incr(` within the few preceding
+        // tokens (allowing `tel :: record ( tel :: Event`).
+        let window_start = idx.saturating_sub(6);
+        let is_call_site =
+            toks[window_start..idx].iter().any(|t| matches!(t.ident(), Some("record" | "incr")));
+        if !is_call_site {
+            continue;
+        }
+        let Some(allowed) = owners.get(variant) else {
+            file.push(
+                out,
+                "telemetry-ownership",
+                toks[idx].line,
+                format!("`Event::{variant}` is not in the DESIGN.md ownership map; add it under §10"),
+            );
+            continue;
+        };
+        if !allowed.contains(&file.crate_name) {
+            file.push(
+                out,
+                "telemetry-ownership",
+                toks[idx].line,
+                format!(
+                    "`Event::{variant}` is owned by {:?} but recorded from crate `{}`",
+                    allowed.iter().cloned().collect::<Vec<_>>(),
+                    file.crate_name
+                ),
+            );
+        }
+    }
+}
+
+/// Parses the ownership map from DESIGN.md: a fenced code block whose
+/// info string contains `lint:telemetry-ownership`, with one
+/// `Variant: crate1, crate2` line per event.
+#[must_use]
+pub fn parse_ownership(design_md: &str) -> OwnershipMap {
+    let mut map = OwnershipMap::new();
+    let mut inside = false;
+    for line in design_md.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("```") {
+            if inside {
+                break;
+            }
+            inside = trimmed.contains("lint:telemetry-ownership");
+            continue;
+        }
+        if !inside || trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        if let Some((variant, crates)) = trimmed.split_once(':') {
+            let set: BTreeSet<String> =
+                crates.split(',').map(|c| c.trim().to_string()).filter(|c| !c.is_empty()).collect();
+            map.insert(variant.trim().to_string(), set);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(
+        rule: fn(&SourceFile, &mut Vec<Finding>),
+        crate_name: &str,
+        file_name: &str,
+        src: &str,
+    ) -> Vec<Finding> {
+        let f = SourceFile::new("crates/x/src/lib.rs", crate_name, file_name, src);
+        let mut out = Vec::new();
+        rule(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn raw_unit_flags_float_fn_and_field() {
+        let src = "
+            pub fn energy_j(&self) -> f64 { 0.0 }
+            pub struct S { pub latency_s: f64, pub count: u64 }
+            pub const RATE_HZ: f64 = 1.0;
+        ";
+        let f = run(check_raw_unit, "demo", "lib.rs", src);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().all(|v| v.rule == "raw-unit" && !v.waived));
+    }
+
+    #[test]
+    fn raw_unit_accepts_newtypes_and_nonpublic() {
+        let src = "
+            pub fn energy_j(&self) -> Energy { Energy::ZERO }
+            pub struct S { pub latency_s: Time, area_mm2: f64 }
+            pub(crate) fn leakage_j() -> f64 { 0.0 }
+            pub fn beats(&self) -> u64 { 0 }
+        ";
+        assert!(run(check_raw_unit, "demo", "lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn raw_unit_waiver_is_counted_not_dropped() {
+        let src = "pub fn read_pulse_s(&self) -> f64 { 0.0 } // lint: allow(raw-unit)";
+        let f = run(check_raw_unit, "demo", "lib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].waived);
+    }
+
+    #[test]
+    fn raw_unit_skips_units_crate() {
+        let src = "pub fn joules_j(&self) -> f64 { 0.0 }";
+        assert!(run(check_raw_unit, "units", "lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn determinism_flags_clock_entropy_and_report_hashmap() {
+        let src = "
+            use std::time::Instant;
+            fn seed() { let r = rand::thread_rng(); }
+            fn report() { let m: HashMap<u32, u32> = HashMap::new(); }
+        ";
+        let f = run(check_determinism, "sim", "report.rs", src);
+        assert!(f.iter().any(|v| v.message.contains("Instant")));
+        assert!(f.iter().any(|v| v.message.contains("thread_rng")));
+        assert!(f.iter().any(|v| v.message.contains("HashMap")));
+    }
+
+    #[test]
+    fn determinism_allows_hashmap_off_report_paths_and_other_crates() {
+        let src = "fn cache() { let m: HashMap<u32, u32> = HashMap::new(); }";
+        assert!(run(check_determinism, "serve", "backend.rs", src).is_empty());
+        assert!(run(check_determinism, "circuit", "report.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_path_flags_unwrap_expect_macros() {
+        let src = "
+            fn f() { x.unwrap(); y.expect(\"msg\"); panic!(\"boom\"); unreachable!(); }
+        ";
+        let f = run(check_panic_path, "demo", "lib.rs", src);
+        assert_eq!(f.len(), 4, "{f:?}");
+    }
+
+    #[test]
+    fn panic_path_skips_cfg_test_and_counts_waivers() {
+        let src = "
+            fn lib() { x.expect(\"invariant\"); } // lint: allow(panic-path)
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); panic!(); }
+            }
+        ";
+        let f = run(check_panic_path, "demo", "lib.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].waived);
+    }
+
+    #[test]
+    fn expected_ident_is_not_expect() {
+        let src = "fn f() { let expected = 3; expect_fn(); }";
+        assert!(run(check_panic_path, "demo", "lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_path_exempts_binary_entry_points() {
+        let src = "fn main() { run().expect(\"cli aborts with a message\"); }";
+        for (rel, name) in [
+            ("crates/bench/src/main.rs", "main.rs"),
+            ("crates/bench/src/bin/experiments.rs", "experiments.rs"),
+        ] {
+            let f = SourceFile::new(rel, "bench", name, src);
+            let mut out = Vec::new();
+            check_panic_path(&f, &mut out);
+            assert!(out.is_empty(), "{rel}: {out:?}");
+        }
+        // The same code in a library file is still flagged.
+        assert_eq!(run(check_panic_path, "bench", "lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn ownership_parses_and_enforces() {
+        let md = "
+# Design
+
+```text lint:telemetry-ownership
+SramRead: sim
+XbarReadPulse: xbar, core
+```
+";
+        let owners = parse_ownership(md);
+        assert_eq!(owners.len(), 2);
+        let good = SourceFile::new(
+            "crates/sim/src/a.rs",
+            "sim",
+            "a.rs",
+            "fn f() { tel::record(tel::Event::SramRead, 1); }",
+        );
+        let bad = SourceFile::new(
+            "crates/serve/src/b.rs",
+            "serve",
+            "b.rs",
+            "fn f() { record(Event::SramRead, 1); }",
+        );
+        let unknown =
+            SourceFile::new("crates/sim/src/c.rs", "sim", "c.rs", "fn f() { incr(Event::Mystery); }");
+        let mut out = Vec::new();
+        check_telemetry_ownership(&good, &owners, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        check_telemetry_ownership(&bad, &owners, &mut out);
+        assert_eq!(out.len(), 1);
+        check_telemetry_ownership(&unknown, &owners, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out[1].message.contains("not in the DESIGN.md ownership map"));
+    }
+
+    #[test]
+    fn ownership_ignores_non_call_references() {
+        let owners = parse_ownership("```lint:telemetry-ownership\nSramRead: sim\n```");
+        let f = SourceFile::new(
+            "crates/serve/src/b.rs",
+            "serve",
+            "b.rs",
+            "fn f() { let e = Event::SramRead; match e { Event::SramRead => {} _ => {} } }",
+        );
+        let mut out = Vec::new();
+        check_telemetry_ownership(&f, &owners, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+}

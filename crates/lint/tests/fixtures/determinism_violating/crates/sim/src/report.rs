@@ -1,0 +1,8 @@
+//! Violating: wall clock + entropy + unordered iteration in a report.
+use std::collections::HashMap;
+use std::time::Instant;
+pub fn emit(rows: &HashMap<String, f64>) -> String {
+    let t = Instant::now();
+    let r = rand::thread_rng();
+    format!("{t:?} {r:?} {rows:?}")
+}

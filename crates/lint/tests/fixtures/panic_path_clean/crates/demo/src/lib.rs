@@ -1,0 +1,12 @@
+//! Clean: typed errors, asserts allowed, tests exempt.
+pub fn parse(s: &str) -> Result<u32, String> {
+    assert!(!s.is_empty(), "caller contract");
+    s.parse().map_err(|e| format!("{e}"))
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        super::parse("3").unwrap();
+    }
+}

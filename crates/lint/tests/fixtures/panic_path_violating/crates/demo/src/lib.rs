@@ -1,0 +1,7 @@
+//! Violating: unwrap and panic in library code.
+pub fn parse(s: &str) -> u32 {
+    if s.is_empty() {
+        panic!("empty");
+    }
+    s.parse().unwrap()
+}

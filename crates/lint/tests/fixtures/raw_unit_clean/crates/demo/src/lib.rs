@@ -1,0 +1,9 @@
+//! Clean: unit-suffixed public API uses newtypes.
+pub struct Stats {
+    pub energy_j: Energy,
+    pub latency_s: Time,
+    count: f64,
+}
+pub fn area_mm2() -> Area {
+    Area::ZERO
+}

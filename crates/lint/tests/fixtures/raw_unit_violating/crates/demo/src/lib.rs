@@ -1,0 +1,7 @@
+//! Violating: unit-suffixed public API exposes bare floats.
+pub struct Stats {
+    pub energy_j: f64,
+}
+pub fn latency_s() -> f64 {
+    0.0
+}

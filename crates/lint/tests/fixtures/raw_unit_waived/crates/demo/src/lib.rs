@@ -1,0 +1,5 @@
+//! Waived: the bare float is justified on its line.
+pub struct Stats {
+    // Serialized legacy field. lint: allow(raw-unit)
+    pub energy_j: f64,
+}

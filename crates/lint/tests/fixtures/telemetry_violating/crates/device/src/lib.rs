@@ -1,0 +1,4 @@
+//! Violating: `SramRead` belongs to `sim`, recorded from `device`.
+pub fn touch(bytes: u64) {
+    tel::record(tel::Event::SramRead, bytes);
+}

@@ -38,7 +38,7 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mask = self.mask.as_ref().expect("backward before forward");
+        let mask = self.mask.as_ref().expect("backward before forward"); // documented Layer contract. lint: allow(panic-path)
         assert_eq!(grad_out.len(), mask.len(), "gradient element count mismatch");
         let mut g = grad_out.clone();
         for (v, &alive) in g.data_mut().iter_mut().zip(mask) {
@@ -114,7 +114,7 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self.cached_output.as_ref().expect("backward before forward");
+        let y = self.cached_output.as_ref().expect("backward before forward"); // documented Layer contract. lint: allow(panic-path)
         let mut g = grad_out.clone();
         for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
             *gv *= yv * (1.0 - yv);
@@ -152,7 +152,7 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let y = self.cached_output.as_ref().expect("backward before forward");
+        let y = self.cached_output.as_ref().expect("backward before forward"); // documented Layer contract. lint: allow(panic-path)
         let mut g = grad_out.clone();
         for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
             *gv *= 1.0 - yv * yv;

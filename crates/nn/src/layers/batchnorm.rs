@@ -130,7 +130,7 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (_, inv_std, xhat) = self.cache.as_ref().expect("backward before forward");
+        let (_, inv_std, xhat) = self.cache.as_ref().expect("backward before forward"); // documented Layer contract. lint: allow(panic-path)
         let [n, c, h, w] = xhat.dims4();
         let count = (n * h * w) as f32;
         let mut grad_in = Tensor::zeros(&[n, c, h, w]);

@@ -124,7 +124,7 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward before forward");
+        let x = self.cached_input.as_ref().expect("backward before forward"); // documented Layer contract. lint: allow(panic-path)
         let [n, _, h, w] = x.dims4();
         let [gn, go, oh, ow] = grad_out.dims4();
         assert_eq!(gn, n, "gradient batch mismatch");

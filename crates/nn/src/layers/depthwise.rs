@@ -112,7 +112,7 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward before forward");
+        let x = self.cached_input.as_ref().expect("backward before forward"); // documented Layer contract. lint: allow(panic-path)
         let [n, c, h, w] = x.dims4();
         let [_, _, oh, ow] = grad_out.dims4();
         let mut grad_in = Tensor::zeros(&[n, c, h, w]);

@@ -27,7 +27,7 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cached_shape.as_ref().expect("backward before forward");
+        let shape = self.cached_shape.as_ref().expect("backward before forward"); // documented Layer contract. lint: allow(panic-path)
         grad_out.clone().reshaped(shape)
     }
 

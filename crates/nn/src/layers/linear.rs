@@ -82,7 +82,7 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward before forward");
+        let x = self.cached_input.as_ref().expect("backward before forward"); // documented Layer contract. lint: allow(panic-path)
         let n = x.shape()[0];
         assert_eq!(grad_out.shape(), &[n, self.out_features], "gradient shape mismatch");
         let mut grad_in = Tensor::zeros(&[n, self.in_features]);

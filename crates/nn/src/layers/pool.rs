@@ -61,7 +61,7 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (shape, argmax) = self.cache.as_ref().expect("backward before forward");
+        let (shape, argmax) = self.cache.as_ref().expect("backward before forward"); // documented Layer contract. lint: allow(panic-path)
         assert_eq!(grad_out.len(), argmax.len(), "gradient element count mismatch");
         let mut grad_in = Tensor::zeros(shape);
         for (g, &idx) in grad_out.data().iter().zip(argmax) {
@@ -124,7 +124,7 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.cached_shape.as_ref().expect("backward before forward");
+        let shape = self.cached_shape.as_ref().expect("backward before forward"); // documented Layer contract. lint: allow(panic-path)
         let [n, c, h, w] = Tensor::zeros(shape).dims4();
         let [_, _, oh, ow] = grad_out.dims4();
         let norm = 1.0 / (self.k * self.k) as f32;

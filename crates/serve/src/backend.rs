@@ -16,6 +16,7 @@
 
 use inca_arch::{ArchConfig, AreaModel};
 use inca_sim::{simulate_inference, GpuModel};
+use inca_units::{Area, Energy};
 use inca_workloads::ModelSpec;
 use std::collections::HashMap;
 
@@ -62,14 +63,18 @@ impl BackendKind {
         }
     }
 
-    /// Die area of one chip, mm² — Table V for the PIM configs, Table II
-    /// for the GPU. Normalizes sustainable load into rps/mm² for the
+    /// Die area of one chip — Table V for the PIM configs, Table II for
+    /// the GPU. Normalizes sustainable load into rps/mm² for the
     /// iso-silicon comparison of Fig 15b.
     #[must_use]
-    pub fn area_mm2(&self) -> f64 {
+    pub fn area_mm2(&self) -> Area {
         match self {
-            BackendKind::Inca => AreaModel::new().breakdown(&ArchConfig::inca_paper()).total_mm2(),
-            BackendKind::WsBaseline => AreaModel::new().breakdown(&ArchConfig::baseline_paper()).total_mm2(),
+            BackendKind::Inca => {
+                Area::from_mm2(AreaModel::new().breakdown(&ArchConfig::inca_paper()).total_mm2())
+            }
+            BackendKind::WsBaseline => {
+                Area::from_mm2(AreaModel::new().breakdown(&ArchConfig::baseline_paper()).total_mm2())
+            }
             BackendKind::Gpu => GpuModel::titan_rtx().area_mm2,
         }
     }
@@ -78,6 +83,8 @@ impl BackendKind {
     /// RRAM programming is pulse-limited; the GPU only streams weights
     /// over its memory bus.
     #[must_use]
+    // A count rate (params/s), not a duration — no newtype exists for it.
+    // lint: allow(raw-unit)
     pub fn reprogram_params_per_s(&self) -> f64 {
         match self {
             BackendKind::Inca | BackendKind::WsBaseline => 2e9,
@@ -98,8 +105,8 @@ impl std::fmt::Display for BackendKind {
 pub struct BatchCost {
     /// Chip-busy time in virtual nanoseconds.
     pub service_ns: SimTime,
-    /// Total energy of the batch, joules.
-    pub energy_j: f64,
+    /// Total energy of the batch.
+    pub energy_j: Energy,
 }
 
 /// Memoizing (model, batch) → cost table for one backend.
@@ -139,7 +146,10 @@ impl CostCache {
             BackendKind::Gpu => {
                 let gpu = GpuModel::titan_rtx();
                 let t = gpu.inference_s(spec, batch);
-                BatchCost { service_ns: secs_to_ns(t), energy_j: gpu.power_w * t }
+                BatchCost {
+                    service_ns: secs_to_ns(t.seconds()),
+                    energy_j: Energy::from_joules(gpu.power_w * t.seconds()),
+                }
             }
         })
     }
@@ -172,7 +182,7 @@ fn analytical_cost(config: &ArchConfig, spec: &ModelSpec, batch: usize) -> Batch
     let mut cfg = config.clone();
     cfg.batch_size = batch;
     let stats = simulate_inference(&cfg, spec);
-    BatchCost { service_ns: secs_to_ns(stats.latency_s), energy_j: stats.energy.total_j() }
+    BatchCost { service_ns: secs_to_ns(stats.latency_s.seconds()), energy_j: stats.energy.total_j() }
 }
 
 #[cfg(test)]
@@ -222,6 +232,6 @@ mod tests {
         let a = cache.cost(0, 8);
         let b = cache.cost(0, 8);
         assert_eq!(a, b);
-        assert!(a.service_ns > 0 && a.energy_j > 0.0);
+        assert!(a.service_ns > 0 && a.energy_j > Energy::ZERO);
     }
 }

@@ -8,6 +8,7 @@
 //! config + seed → the same event sequence, counters and report bytes.
 
 use inca_telemetry as tel;
+use inca_units::Energy;
 
 use crate::backend::{BackendKind, CostCache};
 use crate::chip::{BatchPolicy, Chip, DispatchPolicy, Request};
@@ -98,8 +99,8 @@ pub struct RunResult {
     pub shed: u64,
     /// Virtual time of the last completion, ns.
     pub makespan_ns: SimTime,
-    /// Total energy of all launched batches, joules.
-    pub energy_j: f64,
+    /// Total energy of all launched batches.
+    pub energy_j: Energy,
     /// `hist[s]` = number of batches launched with size `s`
     /// (index 0 unused).
     pub batch_hist: Vec<u64>,
@@ -136,11 +137,11 @@ impl RunResult {
         total as f64 / batches as f64
     }
 
-    /// Energy per completed request, joules.
+    /// Energy per completed request.
     #[must_use]
-    pub fn energy_per_request_j(&self) -> f64 {
+    pub fn energy_per_request_j(&self) -> Energy {
         if self.completed.is_empty() {
-            return 0.0;
+            return Energy::ZERO;
         }
         self.energy_j / self.completed.len() as f64
     }
@@ -192,7 +193,7 @@ pub fn run_point_with_costs(config: &ServeConfig, costs: &mut CostCache) -> RunR
         completed: Vec::with_capacity(config.requests as usize),
         shed: 0,
         makespan_ns: 0,
-        energy_j: 0.0,
+        energy_j: Energy::ZERO,
         batch_hist: vec![0; max_batch + 1],
         switches: 0,
         events: 0,
@@ -257,8 +258,10 @@ pub fn run_point_with_costs(config: &ServeConfig, costs: &mut CostCache) -> RunR
                 }
                 // Launch the longest-waiting model iff its window truly
                 // expired (this event may be stale).
-                if let Some(m) = chips[chip].oldest_model() {
-                    let head = chips[chip].head_arrival(m).expect("oldest_model implies a head");
+                let oldest = chips[chip]
+                    .oldest_model()
+                    .and_then(|m| chips[chip].head_arrival(m).map(|head| (m, head)));
+                if let Some((m, head)) = oldest {
                     if now.saturating_sub(head) >= config.batch.max_wait_ns
                         || chips[chip].depth(m) >= max_batch
                     {

@@ -70,7 +70,7 @@ impl PointSummary {
             p99_ms: ns_to_ms(percentile_ns(&lat, 99.0)),
             mean_batch: run.mean_batch(),
             batch_hist: run.batch_hist.clone(),
-            energy_per_request_mj: run.energy_per_request_j() * 1e3,
+            energy_per_request_mj: run.energy_per_request_j().millijoules(),
             mean_queue_depth: run.mean_queue_depth(),
             max_queue_depth: run.max_queue_depth,
             switches: run.switches,

@@ -16,6 +16,7 @@ use crate::chip::{BatchPolicy, DispatchPolicy};
 use crate::engine::{run_point_with_costs, ServeConfig};
 use crate::metrics::PointSummary;
 use crate::source::{ArrivalKind, ModelMix};
+use inca_units::Area;
 
 /// Configuration of a full serving sweep.
 #[derive(Debug, Clone)]
@@ -79,8 +80,8 @@ pub struct BackendSweep {
     pub backend: BackendKind,
     /// Full-batch fleet capacity, requests/second.
     pub capacity_rps: f64,
-    /// Die area of one chip, mm².
-    pub area_mm2: f64,
+    /// Die area of one chip.
+    pub area_mm2: Area,
     /// One summary per grid point, ascending in offered load.
     pub points: Vec<PointSummary>,
 }
@@ -143,7 +144,7 @@ impl ServeReport {
                     "capacity_rps": b.capacity_rps,
                     "area_mm2": b.area_mm2,
                     "sustainable_rps": sustainable,
-                    "sustainable_rps_per_mm2": sustainable / (self.chips as f64 * b.area_mm2),
+                    "sustainable_rps_per_mm2": sustainable / (self.chips as f64 * b.area_mm2.mm2()),
                     "points": Value::Array(b.points.iter().map(PointSummary::to_json).collect::<Vec<_>>()),
                 })
             })
@@ -163,6 +164,9 @@ impl ServeReport {
     /// Pretty JSON text — byte-identical across same-seed runs.
     #[must_use]
     pub fn to_pretty_json(&self) -> String {
+        // The value tree is built from plain numbers and strings above;
+        // serialization of such a tree is infallible by construction.
+        // lint: allow(panic-path)
         serde_json::to_string_pretty(&self.to_json()).expect("report serializes")
     }
 
@@ -182,7 +186,7 @@ impl ServeReport {
                 b.capacity_rps,
                 Self::P99_BOUND_MS,
                 sustainable,
-                sustainable / (self.chips as f64 * b.area_mm2)
+                sustainable / (self.chips as f64 * b.area_mm2.mm2())
             );
             let _ = writeln!(
                 s,
@@ -233,7 +237,7 @@ pub fn run_sweep(cfg: &SweepConfig) -> ServeReport {
             }
         }
     }
-    grid_rps.sort_by(|a, b| a.partial_cmp(b).expect("grid has no NaN"));
+    grid_rps.sort_by(f64::total_cmp);
 
     let mut backends = Vec::new();
     for (bi, &backend) in cfg.backends.iter().enumerate() {
@@ -331,8 +335,9 @@ mod tests {
         // should sustain more load per mm^2.
         let r = run_sweep(&tiny());
         let get = |k| r.backends.iter().find(|b| b.backend == k).unwrap();
-        let per_mm2 =
-            |b: &BackendSweep| b.sustainable_rps(ServeReport::P99_BOUND_MS) / (r.chips as f64 * b.area_mm2);
+        let per_mm2 = |b: &BackendSweep| {
+            b.sustainable_rps(ServeReport::P99_BOUND_MS) / (r.chips as f64 * b.area_mm2.mm2())
+        };
         let inca = per_mm2(get(BackendKind::Inca));
         let gpu = per_mm2(get(BackendKind::Gpu));
         assert!(inca > gpu, "inca {inca} rps/mm2 vs gpu {gpu} rps/mm2");

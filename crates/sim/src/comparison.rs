@@ -84,7 +84,7 @@ impl Comparison {
         let batch = self.inca.batch_size;
 
         let inca_area = inca_arch::AreaModel::new().breakdown(&self.inca).total_mm2();
-        let inca_tp_area = batch as f64 / inca_tr.latency_s / inca_area;
+        let inca_tp_area = batch as f64 / inca_tr.latency_s.seconds() / inca_area;
 
         ComparisonReport {
             model,

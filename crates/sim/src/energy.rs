@@ -1,25 +1,27 @@
+use inca_units::Energy;
 use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign};
 
-/// Per-component energy accounting in joules — the decomposition the paper
-/// plots in Figs 6, 12 and 13b.
+/// Per-component energy accounting — the decomposition the paper plots
+/// in Figs 6, 12 and 13b. Every component is a typed [`Energy`]; the
+/// serialized JSON is unchanged (newtypes emit the bare joule number).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct EnergyBreakdown {
     /// Off-chip DRAM traffic.
-    pub dram_j: f64,
+    pub dram_j: Energy,
     /// On-chip SRAM buffer traffic.
-    pub buffer_j: f64,
+    pub buffer_j: Energy,
     /// Analog-to-digital conversion.
-    pub adc_j: f64,
+    pub adc_j: Energy,
     /// Input drivers / DACs.
-    pub dac_j: f64,
+    pub dac_j: Energy,
     /// RRAM array reads and writes.
-    pub array_j: f64,
+    pub array_j: Energy,
     /// Digital post-processing (adders, shift-accumulators, pooling, ReLU).
-    pub digital_j: f64,
+    pub digital_j: Energy,
     /// Static (leakage) energy: chip leakage power integrated over the
     /// runtime.
-    pub static_j: f64,
+    pub static_j: Energy,
 }
 
 impl EnergyBreakdown {
@@ -31,14 +33,14 @@ impl EnergyBreakdown {
 
     /// Total energy across all components.
     #[must_use]
-    pub fn total_j(&self) -> f64 {
+    pub fn total_j(&self) -> Energy {
         self.dram_j + self.buffer_j + self.adc_j + self.dac_j + self.array_j + self.digital_j + self.static_j
     }
 
     /// The memory share (DRAM + buffers) — the dominant WS segment of
     /// Fig 6.
     #[must_use]
-    pub fn memory_j(&self) -> f64 {
+    pub fn memory_j(&self) -> Energy {
         self.dram_j + self.buffer_j
     }
 
@@ -47,7 +49,7 @@ impl EnergyBreakdown {
     #[must_use]
     pub fn fractions(&self) -> [f64; 7] {
         let t = self.total_j();
-        if t == 0.0 {
+        if t == Energy::ZERO {
             return [0.0; 7];
         }
         [
@@ -104,21 +106,21 @@ mod tests {
 
     fn sample() -> EnergyBreakdown {
         EnergyBreakdown {
-            dram_j: 3.0,
-            buffer_j: 2.0,
-            adc_j: 1.0,
-            dac_j: 0.5,
-            array_j: 2.5,
-            digital_j: 0.5,
-            static_j: 0.5,
+            dram_j: Energy::from_joules(3.0),
+            buffer_j: Energy::from_joules(2.0),
+            adc_j: Energy::from_joules(1.0),
+            dac_j: Energy::from_joules(0.5),
+            array_j: Energy::from_joules(2.5),
+            digital_j: Energy::from_joules(0.5),
+            static_j: Energy::from_joules(0.5),
         }
     }
 
     #[test]
     fn total_and_memory() {
         let e = sample();
-        assert!((e.total_j() - 10.0).abs() < 1e-12);
-        assert!((e.memory_j() - 5.0).abs() < 1e-12);
+        assert!((e.total_j().joules() - 10.0).abs() < 1e-12);
+        assert!((e.memory_j().joules() - 5.0).abs() < 1e-12);
     }
 
     #[test]
@@ -136,9 +138,9 @@ mod tests {
     #[test]
     fn add_and_scale() {
         let e = sample() + sample();
-        assert!((e.total_j() - 20.0).abs() < 1e-12);
+        assert!((e.total_j().joules() - 20.0).abs() < 1e-12);
         let half = e.scaled(0.25);
-        assert!((half.total_j() - 5.0).abs() < 1e-12);
+        assert!((half.total_j().joules() - 5.0).abs() < 1e-12);
     }
 
     #[test]
@@ -146,6 +148,6 @@ mod tests {
         let mut e = EnergyBreakdown::zero();
         e += sample();
         e += sample();
-        assert!((e.dram_j - 6.0).abs() < 1e-12);
+        assert!((e.dram_j.joules() - 6.0).abs() < 1e-12);
     }
 }

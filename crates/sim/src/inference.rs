@@ -1,5 +1,6 @@
 use inca_arch::{mapping, ArchConfig, Dataflow};
 use inca_telemetry::Event;
+use inca_units::{Area, Energy, PowerDensity, Time};
 use inca_workloads::{LayerSpec, ModelSpec};
 use serde::{Deserialize, Serialize};
 
@@ -45,27 +46,27 @@ pub struct NetworkStats {
     pub per_layer: Vec<LayerStats>,
     /// Total energy for the batch.
     pub energy: EnergyBreakdown,
-    /// Total latency for the batch in seconds.
-    pub latency_s: f64,
+    /// Total latency for the batch.
+    pub latency_s: Time,
 }
 
 impl NetworkStats {
-    /// Energy per image in joules.
+    /// Energy per image.
     #[must_use]
-    pub fn energy_per_image_j(&self) -> f64 {
+    pub fn energy_per_image_j(&self) -> Energy {
         self.energy.total_j() / self.batch as f64
     }
 
-    /// Latency per image in seconds (batch latency / batch).
+    /// Latency per image (batch latency / batch).
     #[must_use]
-    pub fn latency_per_image_s(&self) -> f64 {
+    pub fn latency_per_image_s(&self) -> Time {
         self.latency_s / self.batch as f64
     }
 
     /// Images per second.
     #[must_use]
     pub fn throughput(&self) -> f64 {
-        self.batch as f64 / self.latency_s
+        self.batch as f64 / self.latency_s.seconds()
     }
 }
 
@@ -85,30 +86,30 @@ pub struct CostModel {
     /// total (see Fig 6/13b pies, where the array segment is invisible).
     pub cell_read_duty: f64,
     /// Energy of one digital post-processing operation (shift-add, adder
-    /// stage), joules.
-    pub digital_op_j: f64,
+    /// stage).
+    pub digital_op_j: Energy,
     /// Fraction of a batch for which WS weights must be (re)streamed from
     /// DRAM. Zero for pure inference with resident weights.
     pub ws_weight_stream_per_batch: f64,
-    /// Chip leakage power density in W/mm² (NeuroSim 22 nm class). Static
-    /// energy = density × chip area × runtime.
-    pub leakage_w_per_mm2: f64,
+    /// Chip leakage power density (NeuroSim 22 nm class). Static energy =
+    /// density × chip area × runtime.
+    pub leakage_w_per_mm2: PowerDensity,
 }
 
 impl Default for CostModel {
     fn default() -> Self {
         Self {
             cell_read_duty: 1e-4,
-            digital_op_j: 5e-15,
+            digital_op_j: Energy::from_joules(5e-15),
             ws_weight_stream_per_batch: 0.0,
-            leakage_w_per_mm2: 0.002,
+            leakage_w_per_mm2: PowerDensity::from_w_per_mm2(0.002),
         }
     }
 }
 
 /// Static (leakage) energy of a chip over `latency_s`.
-pub(crate) fn leakage_energy_j(config: &ArchConfig, cost: &CostModel, latency_s: f64) -> f64 {
-    let area = inca_arch::AreaModel::new().breakdown(config).total_mm2();
+pub(crate) fn leakage_energy_j(config: &ArchConfig, cost: &CostModel, latency_s: Time) -> Energy {
+    let area = Area::from_mm2(inca_arch::AreaModel::new().breakdown(config).total_mm2());
     cost.leakage_w_per_mm2 * area * latency_s
 }
 
@@ -153,7 +154,10 @@ fn simulate_ws(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> Netwo
     let mut cycles_per_image = Vec::new();
 
     for (idx, layer) in spec.weighted_layers().enumerate() {
-        let m = engine.map_layer(layer).expect("weighted layer maps");
+        // Mapping every weighted layer is a constructor invariant of
+        // `WsMapping` (the paper suite is mapped in full at config time);
+        // a failure here is a programming error, not a runtime condition.
+        let m = engine.map_layer(layer).expect("weighted layer maps"); // lint: allow(panic-path)
         let windows = if layer.is_linear() { 1 } else { (layer.oh * layer.ow) as u64 };
         let fan_in = layer.fan_in();
         let out_elems = layer.output_elems();
@@ -194,8 +198,10 @@ fn simulate_ws(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> Netwo
         let cell_events = macs as f64 * (bits * bits) as f64 * batch as f64;
         let idle_events =
             (m.cells_allocated - m.cells_used) as f64 * windows as f64 * bits as f64 * batch as f64;
-        e.array_j = cell_events * config.device.read_energy_j(0.5) * cost.cell_read_duty
-            + idle_events * config.device.read_energy_j(0.0) * cost.cell_read_duty;
+        e.array_j = Energy::from_joules(
+            cell_events * config.device.read_energy_j(0.5) * cost.cell_read_duty
+                + idle_events * config.device.read_energy_j(0.0) * cost.cell_read_duty,
+        );
 
         // The baseline ADC digitizes every column of every allocated array
         // each cycle (the ISAAC pipeline ADC runs continuously): for dense
@@ -221,7 +227,10 @@ fn simulate_ws(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> Netwo
         // Optional weight (re)streaming from DRAM (training).
         if cost.ws_weight_stream_per_batch > 0.0 {
             let w_bytes = layer.param_count() as f64 * bits as f64 / 8.0;
-            e.dram_j += w_bytes * cost.ws_weight_stream_per_batch * 8.0 * 4e-12;
+            e.dram_j += w_bytes
+                * cost.ws_weight_stream_per_batch
+                * 8.0
+                * inca_circuit::constants::HBM2_ENERGY_PER_BIT;
         }
 
         total += e;
@@ -241,7 +250,7 @@ fn simulate_ws(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> Netwo
     let sum: u64 = cycles_per_image.iter().sum();
     let max = cycles_per_image.iter().copied().max().unwrap_or(0);
     let cycles_batch = sum + (batch - 1) * max;
-    let latency_s = cycles_batch as f64 * config.array_read_latency_s();
+    let latency_s = Time::from_seconds(cycles_batch as f64 * config.array_read_latency_s());
     total.static_j = leakage_energy_j(config, cost, latency_s);
 
     NetworkStats {
@@ -294,7 +303,8 @@ fn simulate_is(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> Netwo
     let mut cycles_total = 0u64;
 
     for (idx, layer) in spec.weighted_layers().enumerate() {
-        let _m = engine.map_layer(layer).expect("weighted layer maps");
+        // Same constructor invariant as the WS loop above.
+        let _m = engine.map_layer(layer).expect("weighted layer maps"); // lint: allow(panic-path)
         let fan_in = layer.fan_in();
         let out_elems = layer.output_elems();
         let macs = layer.macs();
@@ -318,11 +328,11 @@ fn simulate_is(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> Netwo
         // Reads: identical arithmetic to WS — every MAC touches one cell
         // per (wbit, xbit), on every plane.
         let cell_events = macs as f64 * (bits * bits) as f64 * batch as f64;
-        e.array_j = cell_events * config.device.read_energy_j(0.5) * cost.cell_read_duty;
+        e.array_j = Energy::from_joules(cell_events * config.device.read_energy_j(0.5) * cost.cell_read_duty);
         // Writes: the layer's inputs are programmed into the stacks (real
         // programming pulses — not derated).
         let cells_written = layer.input_elems() * bits * batch;
-        e.array_j += cells_written as f64 * config.device.write_energy_j();
+        e.array_j += Energy::from_joules(cells_written as f64 * config.device.write_energy_j());
 
         // --- conversion ----------------------------------------------------
         // Channel partitions contributing to one output are summed in
@@ -376,7 +386,7 @@ fn simulate_is(config: &ArchConfig, spec: &ModelSpec, cost: &CostModel) -> Netwo
         queue_depth: 4,
     };
     let cycle_s = inca_xbar::simulate_pipeline(&pipe, 4096).per_result_s;
-    let latency_s = cycles_total as f64 * cycle_s;
+    let latency_s = Time::from_seconds(cycles_total as f64 * cycle_s);
     total.static_j = leakage_energy_j(config, cost, latency_s);
 
     NetworkStats {
@@ -443,10 +453,10 @@ mod tests {
         let spec = Model::ResNet18.spec();
         for cfg in [ArchConfig::inca_paper(), ArchConfig::baseline_paper()] {
             let stats = simulate_inference(&cfg, &spec);
-            let sum: f64 = stats.per_layer.iter().map(|l| l.energy.total_j()).sum();
+            let sum: Energy = stats.per_layer.iter().map(|l| l.energy.total_j()).sum();
             let dynamic = stats.energy.total_j() - stats.energy.static_j;
             assert!((sum - dynamic).abs() / sum < 1e-9);
-            assert!(stats.energy.static_j > 0.0);
+            assert!(stats.energy.static_j > Energy::ZERO);
         }
     }
 
@@ -472,6 +482,6 @@ mod tests {
     fn throughput_is_reciprocal() {
         let spec = Model::ResNet18.spec();
         let s = simulate_inference(&ArchConfig::inca_paper(), &spec);
-        assert!((s.throughput() * s.latency_s - s.batch as f64).abs() < 1e-9);
+        assert!((s.throughput() * s.latency_s.seconds() - s.batch as f64).abs() < 1e-9);
     }
 }

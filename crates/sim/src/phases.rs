@@ -6,6 +6,7 @@
 //! the endurance model.
 
 use inca_arch::{ArchConfig, Dataflow};
+use inca_units::{Energy, Time};
 use inca_workloads::ModelSpec;
 use serde::{Deserialize, Serialize};
 
@@ -25,20 +26,20 @@ pub struct TrainingPhases {
     pub backward: EnergyBreakdown,
     /// Energy of the weight-update pass.
     pub weight_update: EnergyBreakdown,
-    /// Latency of each phase in seconds, same order.
-    pub latency_s: [f64; 3],
+    /// Latency of each phase, same order.
+    pub latency_s: [Time; 3],
 }
 
 impl TrainingPhases {
     /// Total energy across phases.
     #[must_use]
-    pub fn total_energy_j(&self) -> f64 {
+    pub fn total_energy_j(&self) -> Energy {
         self.feedforward.total_j() + self.backward.total_j() + self.weight_update.total_j()
     }
 
     /// Total latency across phases.
     #[must_use]
-    pub fn total_latency_s(&self) -> f64 {
+    pub fn total_latency_s(&self) -> Time {
         self.latency_s.iter().sum()
     }
 
@@ -57,7 +58,7 @@ impl TrainingPhases {
     #[must_use]
     pub fn phase_shares(&self) -> [f64; 3] {
         let t = self.total_energy_j();
-        if t == 0.0 {
+        if t == Energy::ZERO {
             return [0.0; 3];
         }
         [self.feedforward.total_j() / t, self.backward.total_j() / t, self.weight_update.total_j() / t]
@@ -91,7 +92,9 @@ fn ws_phases(config: &ArchConfig, spec: &ModelSpec) -> TrainingPhases {
 
     let per_image_cycles: u64 =
         spec.weighted_layers().map(|l| crate::inference::ws_layer_cycles(l, config)).sum();
-    let pass_latency = (per_image_cycles * config.batch_size as u64) as f64 * config.array_read_latency_s();
+    let pass_latency = Time::from_seconds(
+        (per_image_cycles * config.batch_size as u64) as f64 * config.array_read_latency_s(),
+    );
 
     let mut feedforward = fwd.energy;
     feedforward.static_j = crate::inference::leakage_energy_j(config, &cost, pass_latency);
@@ -100,14 +103,14 @@ fn ws_phases(config: &ArchConfig, spec: &ModelSpec) -> TrainingPhases {
     let mut backward = fwd.energy;
     backward.static_j = feedforward.static_j;
     let act_bytes = spec.activation_input_elems() as f64 * bits / 8.0;
-    backward.dram_j += 4.0 * act_bytes * batch * 8.0 * 4e-12;
-    backward.array_j += spec.activation_input_elems() as f64 * bits * batch * write_j;
+    backward.dram_j += 4.0 * act_bytes * batch * 8.0 * inca_circuit::constants::HBM2_ENERGY_PER_BIT;
+    backward.array_j += Energy::from_joules(spec.activation_input_elems() as f64 * bits * batch * write_j);
 
     // Update: gradient pass + weight (and transposed-weight) rewrite.
     let mut weight_update = fwd.energy;
     weight_update.static_j = feedforward.static_j;
     let weight_cells = spec.param_count() as f64 * bits * 2.0;
-    weight_update.array_j += weight_cells * write_j;
+    weight_update.array_j += Energy::from_joules(weight_cells * write_j);
 
     TrainingPhases {
         dataflow: Dataflow::WeightStationary,
@@ -128,19 +131,19 @@ fn is_phases(config: &ArchConfig, spec: &ModelSpec) -> TrainingPhases {
 
     let fwd_cycles: u64 = fwd.per_layer.iter().map(|l| l.cycles).sum();
     let cycle_s = config.array_read_latency_s() + config.array_write_latency_s();
-    let fwd_latency = fwd_cycles as f64 * cycle_s;
+    let fwd_latency = Time::from_seconds(fwd_cycles as f64 * cycle_s);
 
     let feedforward = fwd.energy;
 
     let mut backward = fwd.energy;
     backward.buffer_j *= 2.0;
     backward.dram_j *= 2.0;
-    backward.array_j += spec.activation_input_elems() as f64 * bits * batch * write_j;
+    backward.array_j += Energy::from_joules(spec.activation_input_elems() as f64 * bits * batch * write_j);
 
     let mut weight_update = fwd.energy.scaled(0.5);
     let w_bytes = spec.param_count() as f64 * bits / 8.0;
-    weight_update.dram_j += w_bytes * 8.0 * 4e-12;
-    weight_update.buffer_j += w_bytes / 32.0 * 22e-12;
+    weight_update.dram_j += w_bytes * 8.0 * inca_circuit::constants::HBM2_ENERGY_PER_BIT;
+    weight_update.buffer_j += w_bytes / 32.0 * inca_circuit::constants::SRAM_WRITE_ENERGY_PER_BEAT;
     weight_update.static_j = crate::inference::leakage_energy_j(config, &cost, fwd_latency * 0.5);
 
     TrainingPhases {

@@ -43,18 +43,19 @@ pub fn format_ratio_table(reports: &[ComparisonReport]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use inca_units::Energy;
     use inca_workloads::Model;
 
     #[test]
     fn energy_table_contains_label_and_components() {
         let e = EnergyBreakdown {
-            dram_j: 1.0,
-            buffer_j: 1.0,
-            adc_j: 1.0,
-            dac_j: 0.0,
-            array_j: 1.0,
-            digital_j: 0.0,
-            static_j: 0.0,
+            dram_j: Energy::from_joules(1.0),
+            buffer_j: Energy::from_joules(1.0),
+            adc_j: Energy::from_joules(1.0),
+            dac_j: Energy::ZERO,
+            array_j: Energy::from_joules(1.0),
+            digital_j: Energy::ZERO,
+            static_j: Energy::ZERO,
         };
         let s = format_energy_table("test", &e);
         assert!(s.contains("test"));

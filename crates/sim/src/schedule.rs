@@ -11,6 +11,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use inca_arch::{mapping, ArchConfig, Dataflow};
+use inca_units::Time;
 use inca_workloads::ModelSpec;
 use serde::{Deserialize, Serialize};
 
@@ -21,20 +22,20 @@ pub struct LayerJob {
     pub layer_index: usize,
     /// Subarray units the mapping allocates.
     pub units: u64,
-    /// Occupancy duration in seconds.
-    pub duration_s: f64,
+    /// Occupancy duration.
+    pub duration_s: Time,
 }
 
 /// Result of scheduling a job set onto a bounded chip.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleResult {
-    /// Total makespan in seconds.
-    pub makespan_s: f64,
+    /// Total makespan.
+    pub makespan_s: Time,
     /// Lower bound: the longest single job (infinite resources, full
     /// parallelism but jobs are atomic).
-    pub critical_path_s: f64,
+    pub critical_path_s: Time,
     /// Sum of all durations (serial execution).
-    pub serial_s: f64,
+    pub serial_s: Time,
     /// Peak concurrent unit usage observed.
     pub peak_units: u64,
     /// Mean unit utilization of the chip over the makespan.
@@ -76,14 +77,16 @@ pub fn schedule(jobs: &[LayerJob], capacity: u64) -> ScheduleResult {
     let mut queue: std::collections::VecDeque<&LayerJob> = normalized.iter().collect();
     while let Some(job) = queue.front() {
         if job.units <= free {
-            let job = queue.pop_front().expect("front exists");
+            // Front was just matched by the `while let` — the pop cannot fail.
+            let job = queue.pop_front().expect("front exists"); // lint: allow(panic-path)
             free -= job.units;
             peak = peak.max(capacity - free);
-            busy_area += job.units as f64 * job.duration_s;
-            events.push(Reverse((to_ns(now + job.duration_s), job.units)));
+            busy_area += job.units as f64 * job.duration_s.seconds();
+            events.push(Reverse((to_ns(now + job.duration_s.seconds()), job.units)));
         } else {
-            // Advance time to the next completion.
-            let Reverse((t_ns, units)) = events.pop().expect("a running job must exist");
+            // Advance time to the next completion. The queue head does not
+            // fit, so some units are held — a completion event must exist.
+            let Reverse((t_ns, units)) = events.pop().expect("a running job must exist"); // lint: allow(panic-path)
             now = t_ns as f64 / 1e9;
             free += units;
         }
@@ -94,10 +97,10 @@ pub fn schedule(jobs: &[LayerJob], capacity: u64) -> ScheduleResult {
         makespan = makespan.max(t_ns as f64 / 1e9);
     }
 
-    let critical = normalized.iter().map(|j| j.duration_s).fold(0.0, f64::max);
-    let serial: f64 = normalized.iter().map(|j| j.duration_s).sum();
+    let critical = normalized.iter().map(|j| j.duration_s).fold(Time::ZERO, Time::max);
+    let serial: Time = normalized.iter().map(|j| j.duration_s).sum();
     ScheduleResult {
-        makespan_s: makespan,
+        makespan_s: Time::from_seconds(makespan),
         critical_path_s: critical,
         serial_s: serial,
         peak_units: peak,
@@ -122,7 +125,9 @@ pub fn layer_jobs(config: &ArchConfig, spec: &ModelSpec) -> Vec<LayerJob> {
                     engine.map_layer(l).map(|m| LayerJob {
                         layer_index: i,
                         units: m.units,
-                        duration_s: crate::inference::ws_layer_cycles(l, config) as f64 * cycle_s,
+                        duration_s: Time::from_seconds(
+                            crate::inference::ws_layer_cycles(l, config) as f64 * cycle_s,
+                        ),
                     })
                 })
                 .collect()
@@ -135,7 +140,9 @@ pub fn layer_jobs(config: &ArchConfig, spec: &ModelSpec) -> Vec<LayerJob> {
                     engine.map_layer(l).map(|m| LayerJob {
                         layer_index: i,
                         units: m.units,
-                        duration_s: crate::inference::is_layer_cycles(l, config) as f64 * cycle_s,
+                        duration_s: Time::from_seconds(
+                            crate::inference::is_layer_cycles(l, config) as f64 * cycle_s,
+                        ),
                     })
                 })
                 .collect()
@@ -156,14 +163,14 @@ mod tests {
     use inca_workloads::Model;
 
     fn job(i: usize, units: u64, d: f64) -> LayerJob {
-        LayerJob { layer_index: i, units, duration_s: d }
+        LayerJob { layer_index: i, units, duration_s: Time::from_seconds(d) }
     }
 
     #[test]
     fn independent_jobs_run_in_parallel() {
         let jobs = [job(0, 10, 1.0), job(1, 10, 1.0), job(2, 10, 1.0)];
         let r = schedule(&jobs, 30);
-        assert!((r.makespan_s - 1.0).abs() < 1e-9);
+        assert!((r.makespan_s.seconds() - 1.0).abs() < 1e-9);
         assert_eq!(r.peak_units, 30);
     }
 
@@ -171,7 +178,7 @@ mod tests {
     fn capacity_forces_serialization() {
         let jobs = [job(0, 10, 1.0), job(1, 10, 1.0), job(2, 10, 1.0)];
         let r = schedule(&jobs, 10);
-        assert!((r.makespan_s - 3.0).abs() < 1e-9);
+        assert!((r.makespan_s.seconds() - 3.0).abs() < 1e-9);
         assert!((r.chip_utilization - 1.0).abs() < 1e-9);
     }
 
@@ -180,15 +187,15 @@ mod tests {
         let jobs = [job(0, 25, 1.0)];
         let r = schedule(&jobs, 10);
         // ceil(25/10) = 3 rounds.
-        assert!((r.makespan_s - 3.0).abs() < 1e-9);
+        assert!((r.makespan_s.seconds() - 3.0).abs() < 1e-9);
     }
 
     #[test]
     fn makespan_bounded_by_serial_and_critical_path() {
         let jobs = [job(0, 5, 2.0), job(1, 8, 1.0), job(2, 3, 4.0), job(3, 9, 0.5)];
         let r = schedule(&jobs, 10);
-        assert!(r.makespan_s >= r.critical_path_s - 1e-9);
-        assert!(r.makespan_s <= r.serial_s + 1e-9);
+        assert!(r.makespan_s.seconds() >= r.critical_path_s.seconds() - 1e-9);
+        assert!(r.makespan_s.seconds() <= r.serial_s.seconds() + 1e-9);
     }
 
     #[test]
@@ -210,7 +217,7 @@ mod tests {
         let jobs = layer_jobs(&cfg, &spec);
         let small = schedule(&jobs, 4_000);
         let big = schedule(&jobs, 64_000);
-        assert!(big.makespan_s <= small.makespan_s + 1e-12);
+        assert!(big.makespan_s.seconds() <= small.makespan_s.seconds() + 1e-12);
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use inca_arch::{ArchConfig, Dataflow};
+use inca_units::{Energy, Time};
 use inca_workloads::ModelSpec;
 
 use crate::inference::{simulate_feedforward, CostModel};
@@ -45,12 +46,12 @@ fn training_ws(config: &ArchConfig, spec: &ModelSpec) -> NetworkStats {
 
     // Three passes of convolution work (fwd, error, gradient).
     let mut energy = fwd.energy.scaled(3.0);
-    energy.static_j = 0.0; // recomputed from the training latency below
+    energy.static_j = Energy::ZERO; // recomputed from the training latency below
 
     // Extra DRAM: every layer's activations stored after fwd and re-fetched
     // during backward; errors likewise (4 x activation bytes / image).
     let act_bytes = spec.activation_input_elems() as f64 * bits / 8.0;
-    energy.dram_j += 4.0 * act_bytes * batch * 8.0 * 4e-12;
+    energy.dram_j += 4.0 * act_bytes * batch * 8.0 * inca_circuit::constants::HBM2_ENERGY_PER_BIT;
 
     // Extra RRAM programming: errors and gradients written beside the
     // weights (per image), plus the weight + transposed-weight rewrite at
@@ -58,16 +59,19 @@ fn training_ws(config: &ArchConfig, spec: &ModelSpec) -> NetworkStats {
     let write_j = config.device.write_energy_j();
     let error_cells = spec.activation_input_elems() as f64 * bits * batch;
     let weight_cells = spec.param_count() as f64 * bits * 2.0;
-    energy.array_j += (error_cells + weight_cells) * write_j;
+    energy.array_j += Energy::from_joules((error_cells + weight_cells) * write_j);
 
     // Latency: three sequential passes per image, no batch pipelining.
     let per_image_cycles: u64 =
         spec.weighted_layers().map(|l| crate::inference::ws_layer_cycles(l, config)).sum();
     let cycles = 3 * per_image_cycles * config.batch_size as u64;
-    let latency_s = cycles as f64 * config.array_read_latency_s()
-        // Weight rewrite at batch end: programming is row-parallel, one
-        // write pulse per array row set.
-        + weight_cells / (config.subarray as f64) * config.device.write_pulse_s / config.units_per_chip() as f64;
+    let latency_s = Time::from_seconds(
+        cycles as f64 * config.array_read_latency_s()
+            // Weight rewrite at batch end: programming is row-parallel, one
+            // write pulse per array row set.
+            + weight_cells / (config.subarray as f64) * config.device.write_pulse_s
+                / config.units_per_chip() as f64,
+    );
     energy.static_j = crate::inference::leakage_energy_j(config, &cost, latency_s);
 
     NetworkStats {
@@ -93,7 +97,7 @@ fn training_is(config: &ArchConfig, spec: &ModelSpec) -> NetworkStats {
     backward.buffer_j *= 2.0;
     backward.dram_j *= 2.0;
     let write_j = config.device.write_energy_j();
-    backward.array_j += spec.activation_input_elems() as f64 * bits * batch * write_j;
+    backward.array_j += Energy::from_joules(spec.activation_input_elems() as f64 * bits * batch * write_j);
 
     // Weight update: the resident inputs convolved with the errors —
     // roughly half a forward pass of reads (gradients are produced at
@@ -101,17 +105,17 @@ fn training_is(config: &ArchConfig, spec: &ModelSpec) -> NetworkStats {
     // buffer/DRAM.
     let mut update = fwd.energy.scaled(0.5);
     let w_bytes = spec.param_count() as f64 * bits / 8.0;
-    update.dram_j += w_bytes * 8.0 * 4e-12;
-    update.buffer_j += w_bytes / 32.0 * 22e-12;
+    update.dram_j += w_bytes * 8.0 * inca_circuit::constants::HBM2_ENERGY_PER_BIT;
+    update.buffer_j += w_bytes / 32.0 * inca_circuit::constants::SRAM_WRITE_ENERGY_PER_BEAT;
 
     let mut energy = fwd.energy + backward + update;
-    energy.static_j = 0.0; // recomputed from the training latency below
+    energy.static_j = Energy::ZERO; // recomputed from the training latency below
 
     // Latency: fwd + bwd (same cycles) + update (half), all batch-parallel.
     let fwd_cycles: u64 = fwd.per_layer.iter().map(|l| l.cycles).sum();
     let cycles = fwd_cycles * 5 / 2;
     let cycle_s = config.array_read_latency_s() + config.array_write_latency_s();
-    let latency_s = cycles as f64 * cycle_s;
+    let latency_s = Time::from_seconds(cycles as f64 * cycle_s);
     energy.static_j = crate::inference::leakage_energy_j(config, &cost, latency_s);
 
     NetworkStats {

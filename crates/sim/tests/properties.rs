@@ -4,6 +4,7 @@
 use inca_arch::ArchConfig;
 use inca_sim::access::{baseline_total, inca_total, AccessConfig};
 use inca_sim::{simulate_inference, simulate_training};
+use inca_units::{Energy, Time};
 use inca_workloads::Model;
 use proptest::prelude::*;
 
@@ -98,9 +99,9 @@ fn energies_nonnegative_and_finite() {
                     ("digital", e.digital_j),
                     ("static", e.static_j),
                 ] {
-                    assert!(v.is_finite() && v >= 0.0, "{model} {:?} {name}: {v}", cfg.dataflow);
+                    assert!(v.is_finite() && v >= Energy::ZERO, "{model} {:?} {name}: {v}", cfg.dataflow);
                 }
-                assert!(stats.latency_s.is_finite() && stats.latency_s > 0.0);
+                assert!(stats.latency_s.is_finite() && stats.latency_s > Time::ZERO);
             }
         }
     }
@@ -111,7 +112,7 @@ fn energies_nonnegative_and_finite() {
 #[test]
 fn adc_precision_latency_monotone() {
     let spec = Model::ResNet18.spec();
-    let mut prev = 0.0f64;
+    let mut prev = Time::ZERO;
     for bits in [2u8, 4, 6, 8] {
         let mut cfg = ArchConfig::inca_paper();
         cfg.adc = inca_circuit::AdcSpec::new(bits).unwrap();

@@ -145,7 +145,7 @@ impl Drop for SpanGuard {
             // Anything above `pos` was leaked (mem::forget) — discard it
             // so nesting stays consistent.
             stack.truncate(pos + 1);
-            let frame = stack.pop().expect("frame at pos");
+            let frame = stack.pop().expect("frame at pos"); // truncate(pos+1) guarantees an element. lint: allow(panic-path)
             let path: Vec<&'static str> = stack.iter().map(|f| f.name).collect();
             Some((frame, path))
         }) else {
@@ -174,7 +174,7 @@ fn record_aggregate(path: &[&'static str], name: &'static str, dur_ns: u64) {
         Some(n) => n,
         None => {
             level.push(SpanStats { name: name.to_owned(), ..SpanStats::default() });
-            level.last_mut().expect("just pushed")
+            level.last_mut().expect("just pushed") // pushed on the line above. lint: allow(panic-path)
         }
     };
     node.count += 1;

@@ -1,0 +1,79 @@
+//! Property tests for the dimensional-arithmetic layer.
+//!
+//! The invariants the cost-model refactor leans on: constructors and
+//! accessors are bit-exact identities, dimension products/quotients
+//! match the underlying `f64` arithmetic exactly, and serialization
+//! emits the bare number (so report JSON keys and values are unchanged
+//! by adopting the newtypes).
+
+use inca_units::{Area, Energy, EnergyPerBeat, EnergyPerBit, Frequency, Power, Time};
+use proptest::prelude::*;
+use serde::Serialize;
+
+proptest! {
+    /// `from_*` / accessor round-trips are bit-exact identities.
+    #[test]
+    fn roundtrip_bit_exact(x in -1e30f64..1e30) {
+        prop_assert_eq!(Energy::from_joules(x).joules().to_bits(), x.to_bits());
+        prop_assert_eq!(Time::from_seconds(x).seconds().to_bits(), x.to_bits());
+        prop_assert_eq!(Power::from_watts(x).watts().to_bits(), x.to_bits());
+        prop_assert_eq!(Area::from_mm2(x).mm2().to_bits(), x.to_bits());
+        prop_assert_eq!(Frequency::from_hz(x).hertz().to_bits(), x.to_bits());
+    }
+
+    /// Dimension arithmetic equals raw f64 arithmetic bit for bit.
+    #[test]
+    fn arithmetic_matches_f64(a in 1e-15f64..1e15, b in 1e-15f64..1e15) {
+        let (e, t) = (Energy::from_joules(a), Time::from_seconds(b));
+        prop_assert_eq!((e / t).watts().to_bits(), (a / b).to_bits());
+        prop_assert_eq!((Power::from_watts(a) * t).joules().to_bits(), (a * b).to_bits());
+        prop_assert_eq!((e / Area::from_mm2(b)).j_per_mm2().to_bits(), (a / b).to_bits());
+        prop_assert_eq!((e + Energy::from_joules(b)).joules().to_bits(), (a + b).to_bits());
+        prop_assert_eq!((e * b).joules().to_bits(), (a * b).to_bits());
+        prop_assert_eq!((e / Energy::from_joules(b)).to_bits(), (a / b).to_bits());
+    }
+
+    /// Rate types consume counts exactly like the pre-refactor
+    /// `count as f64 * raw_rate` expressions.
+    #[test]
+    fn rates_match_raw_expressions(rate in 1e-18f64..1e-9, count in 0u64..1_000_000) {
+        let bit = EnergyPerBit::from_joules_per_bit(rate);
+        let beat = EnergyPerBeat::from_joules_per_beat(rate);
+        prop_assert_eq!(bit.for_bits(count).joules().to_bits(), (count as f64 * rate).to_bits());
+        prop_assert_eq!(beat.for_beats(count).joules().to_bits(), (count as f64 * rate).to_bits());
+        prop_assert_eq!((count as f64 * bit).joules().to_bits(), (count as f64 * rate).to_bits());
+    }
+
+    /// Sums accumulate in iteration order, same as summing raw f64s.
+    #[test]
+    fn sum_matches_f64_sum(a in -1e9f64..1e9, b in -1e9f64..1e9, c in -1e9f64..1e9) {
+        let xs = [a, b, c];
+        let typed: Energy = xs.iter().map(|&x| Energy::from_joules(x)).sum();
+        let raw: f64 = xs.iter().sum();
+        prop_assert_eq!(typed.joules().to_bits(), raw.to_bits());
+    }
+
+    /// Serialization emits the bare float — the JSON a report struct
+    /// carrying `Energy` fields produces is identical to one with `f64`.
+    #[test]
+    fn serde_emits_bare_number(x in -1e30f64..1e30) {
+        let typed = Energy::from_joules(x).to_content();
+        let raw = x.to_content();
+        prop_assert_eq!(format!("{typed}"), format!("{raw}"));
+    }
+}
+
+#[test]
+fn frequency_period_reciprocal() {
+    let f = Frequency::from_hz(1.2e9);
+    assert_eq!(f.period().seconds().to_bits(), (1.0f64 / 1.2e9).to_bits());
+    assert_eq!(Time::from_seconds(1e-9).frequency().hertz().to_bits(), (1.0f64 / 1e-9).to_bits());
+}
+
+#[test]
+fn unit_accessor_scalings() {
+    assert_eq!(Energy::from_joules(2e-3).millijoules(), 2.0);
+    assert_eq!(Energy::from_joules(3e-12).picojoules(), 3e-12 * 1e12);
+    assert_eq!(Time::from_seconds(5e-9).nanoseconds(), 5.0);
+    assert_eq!(Frequency::from_hz(2.1e9).gigahertz(), 2.1);
+}

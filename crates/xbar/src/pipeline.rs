@@ -19,8 +19,10 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
     /// Latency of one window read (seconds).
+    // lint: allow(raw-unit)
     pub t_read_s: f64,
     /// Latency of one output write (seconds).
+    // lint: allow(raw-unit)
     pub t_write_s: f64,
     /// Parallel write ports into the destination arrays (bit-planes write
     /// concurrently, so the paper's design effectively has one port per
@@ -46,8 +48,10 @@ pub struct PipelineStats {
     /// Number of results processed.
     pub results: u64,
     /// Total makespan in seconds.
+    // lint: allow(raw-unit)
     pub makespan_s: f64,
     /// Effective time per result.
+    // lint: allow(raw-unit)
     pub per_result_s: f64,
     /// Fraction of the raw write latency hidden under reads:
     /// `1 - (per_result - t_read) / t_write` clamped to `[0, 1]`.

@@ -63,8 +63,8 @@ fn table_iv_within_tolerance() {
 /// Table V: total areas within 1 % of the published 84.088 / 47.914 mm².
 #[test]
 fn table_v_totals() {
-    let base = Accelerator::baseline().area_mm2();
-    let inca = Accelerator::inca().area_mm2();
+    let base = Accelerator::baseline().area_mm2().mm2();
+    let inca = Accelerator::inca().area_mm2().mm2();
     assert!((base - 84.088).abs() / 84.088 < 0.01, "baseline {base}");
     assert!((inca - 47.914).abs() / 47.914 < 0.01, "inca {inca}");
 }
