@@ -6,7 +6,14 @@
 //!    byte-loop reference on the cached hw_conv workload (the bench
 //!    itself targets ≥ 3x; the smoke threshold leaves headroom for noisy
 //!    CI hosts),
-//! 2. enabling telemetry costs less than 1.5x on the packed path —
+//! 2. on hosts with at least 4 threads, the parallel schedule beats the
+//!    sequential one by ≥ 3x for **both** conv engines, and the figure
+//!    was measured honestly: `host_threads ≥ par_workers`, never
+//!    timesliced. On smaller hosts the artifact must carry the explicit
+//!    `"parallel": {"skipped": "host_threads < 4"}` marker instead of a
+//!    number, and this gate reports a loud SKIP rather than silently
+//!    passing,
+//! 3. enabling telemetry costs less than 1.5x on the packed path —
 //!    coalescing each window burst into four `record()` calls retired
 //!    the 1.69x overhead the per-read scheme used to pay.
 //!
@@ -14,9 +21,9 @@
 //! never enter `SERVE_report.json`, which must stay byte-reproducible,
 //! so the perf gates live here instead):
 //!
-//! 3. the discrete-event engine sustains at least 1M events/second of
+//! 4. the discrete-event engine sustains at least 1M events/second of
 //!    schedule/pop churn (release builds measure ~20M),
-//! 4. telemetry on vs off changes serving throughput by less than 1.5x.
+//! 5. telemetry on vs off changes serving throughput by less than 1.5x.
 //!
 //! Exits non-zero with a diagnostic if any bound is violated, so a perf
 //! regression fails the pipeline instead of silently shipping.
@@ -88,6 +95,57 @@ fn main() -> ExitCode {
         failed = true;
     } else {
         eprintln!("perf_smoke: ok packed_over_scalar = {packed_over_scalar:.2} (>= 2.0)");
+    }
+
+    // Parallel-schedule gate. Engines publishing a speedup must have
+    // measured it on a host that could really run the workers
+    // concurrently; engines skipping must say so explicitly.
+    let host_threads = artifact["host_threads"].as_u64().unwrap_or(0);
+    let par_workers = artifact["par_workers"].as_u64().unwrap_or(0);
+    for engine in ["hw_conv", "hw_batch_conv"] {
+        match artifact[engine]["parallel_speedup"].as_f64() {
+            Some(speedup) => {
+                if host_threads < 4 {
+                    eprintln!(
+                        "perf_smoke: FAIL {engine}.parallel_speedup published with host_threads = \
+                         {host_threads} < 4 — the bench must skip, not publish, undersized hosts"
+                    );
+                    failed = true;
+                } else if par_workers > host_threads {
+                    eprintln!(
+                        "perf_smoke: FAIL {engine}.parallel_speedup measured oversubscribed \
+                         (par_workers {par_workers} > host_threads {host_threads}) — \
+                         a timesliced speedup is noise, not data"
+                    );
+                    failed = true;
+                } else if speedup < 3.0 {
+                    eprintln!(
+                        "perf_smoke: FAIL {engine}.parallel_speedup = {speedup:.2} < 3.0 — \
+                         the parallel schedule is not earning its threads"
+                    );
+                    failed = true;
+                } else {
+                    eprintln!(
+                        "perf_smoke: ok {engine}.parallel_speedup = {speedup:.2} \
+                         (>= 3.0, {par_workers} workers on {host_threads} host threads)"
+                    );
+                }
+            }
+            None => {
+                if artifact[engine]["parallel"]["skipped"].as_str().is_some() && host_threads < 4 {
+                    eprintln!(
+                        "perf_smoke: SKIP {engine} parallel gate — host_threads = {host_threads} < 4; \
+                         artifact carries the explicit skip marker, no oversubscribed number published"
+                    );
+                } else {
+                    eprintln!(
+                        "perf_smoke: FAIL {engine} has neither parallel_speedup nor a valid \
+                         skip marker (stale artifact?)"
+                    );
+                    failed = true;
+                }
+            }
+        }
     }
     if on_over_off >= 1.5 {
         eprintln!(

@@ -6,8 +6,22 @@
 //! so the functional simulator is free to fan output rows across worker
 //! threads without changing a single accumulated bit. This module holds
 //! the policy knob ([`ExecPolicy`]) plus the generic chunked fan-out
-//! helper the conv engines use, built on the same scoped-thread pattern
+//! helpers the conv engines use, built on the same scoped-thread pattern
 //! as `inca_sim`'s sweep runner.
+//!
+//! # Chunk granularity
+//!
+//! Workers receive **contiguous blocks** of chunks, not a round-robin
+//! deal: block `b` of `w` workers owns chunks `[b·⌈n/w⌉ …)` (off-by-one
+//! balanced, see [`for_each_chunk_with`]). Contiguous blocks mean one
+//! `split_at_mut` per worker instead of a `Vec` of slice handles per
+//! chunk, preserve the sequential path's cache-friendly row-major walk
+//! within each worker, and — the real win — give each worker a natural
+//! place to hold *per-worker state*: scratch buffers and programmed-state
+//! handles are created once per worker via `init` instead of once per
+//! chunk or (worse) once per window. The round-robin predecessor of this
+//! module allocated its packed-window scratch per output row, which is
+//! what regressed `parallel_speedup` below 1× (see DESIGN §8).
 
 use crate::Result;
 
@@ -20,11 +34,12 @@ pub enum ReadPath {
     /// [`inca_xbar::VerticalPlane::conv_window_sum`] with per-read
     /// telemetry — the reference model of the analog read.
     Scalar,
-    /// Bit-packed word-parallel reads (shifted-mask AND + `count_ones`),
-    /// with each window's activation-bit words extracted once and reused
-    /// across every weight bit, output channel, and differential side,
-    /// and telemetry coalesced into one record per window burst. Totals
-    /// and outputs are bit-exact with [`ReadPath::Scalar`].
+    /// Bit-packed word-parallel reads (shifted-mask AND + popcount,
+    /// SIMD-dispatched via [`inca_xbar::simd`]), with each window's
+    /// activation-bit words extracted once and reused across every
+    /// weight bit, output channel, and differential side, and telemetry
+    /// coalesced into one record per window burst. Totals and outputs
+    /// are bit-exact with [`ReadPath::Scalar`].
     #[default]
     Packed,
 }
@@ -40,9 +55,13 @@ pub enum Schedule {
     /// One thread computes every output window in row-major order.
     #[default]
     Sequential,
-    /// Output rows are round-robined across `threads` scoped workers.
+    /// Output chunks are carved into contiguous blocks across `threads`
+    /// scoped workers, each with its own reusable scratch state.
     Parallel {
-        /// Number of worker threads (clamped to at least 1).
+        /// Number of worker threads (clamped to at least 1). Honored
+        /// verbatim — callers wanting host-sized pools should build the
+        /// policy via [`ExecPolicy::parallel`], which clamps to
+        /// `available_parallelism`.
         threads: usize,
     },
 }
@@ -65,13 +84,19 @@ impl ExecPolicy {
         Self::default()
     }
 
-    /// A parallel policy sized to the host's available parallelism.
+    /// A parallel policy sized — and clamped — to the host's available
+    /// parallelism. This is the only constructor that cannot
+    /// oversubscribe: on a 1-core host it degenerates to a single
+    /// worker rather than timeslicing several.
     #[must_use]
     pub fn parallel() -> Self {
-        Self::parallel_with(std::thread::available_parallelism().map_or(1, usize::from))
+        Self::parallel_with(available_threads())
     }
 
-    /// A parallel policy with an explicit worker count.
+    /// A parallel policy with an explicit worker count, honored
+    /// verbatim (tests use this to exercise multi-worker schedules even
+    /// on small hosts). Benchmarks should prefer [`ExecPolicy::parallel`]
+    /// and report [`ExecPolicy::effective_threads`].
     #[must_use]
     pub fn parallel_with(threads: usize) -> Self {
         Self { schedule: Schedule::Parallel { threads }, ..Self::default() }
@@ -91,7 +116,7 @@ impl ExecPolicy {
         self
     }
 
-    /// The worker count this policy schedules onto.
+    /// The worker count this policy schedules onto (as requested).
     #[must_use]
     pub fn threads(self) -> usize {
         match self.schedule {
@@ -99,68 +124,136 @@ impl ExecPolicy {
             Schedule::Parallel { threads } => threads.max(1),
         }
     }
+
+    /// The worker count the host can actually run concurrently:
+    /// `min(requested, available_parallelism)`. When this is smaller
+    /// than [`ExecPolicy::threads`], the policy is oversubscribed and
+    /// any wall-clock speedup figure measured under it is meaningless —
+    /// the bench artifact records both numbers so the `perf_smoke` gate
+    /// can refuse such measurements.
+    #[must_use]
+    pub fn effective_threads(self) -> usize {
+        self.threads().min(available_threads())
+    }
+}
+
+/// `available_parallelism`, defaulting to 1 where the host won't say.
+#[must_use]
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 /// Splits `data` into consecutive `chunk_len`-sized chunks and applies
-/// `f(chunk_index, chunk)` to each, either in-place (sequential) or
-/// round-robined across scoped worker threads.
-///
-/// Chunks are disjoint `&mut` slices, so workers never alias; the first
-/// error (in chunk order per worker) is propagated after all workers
-/// join.
+/// `f(chunk_index, chunk)` to each — [`for_each_chunk_with`] without
+/// per-worker state.
 ///
 /// # Errors
 ///
-/// Returns the first error any chunk's `f` produced.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics (the panic is resumed on the caller).
+/// Returns the error from the lowest-indexed failing chunk.
 pub fn for_each_chunk<T, F>(policy: ExecPolicy, data: &mut [T], chunk_len: usize, f: F) -> Result<()>
 where
     T: Send,
     F: Fn(usize, &mut [T]) -> Result<()> + Sync,
 {
+    for_each_chunk_with(policy, data, chunk_len, || (), |(), idx, chunk| f(idx, chunk))
+}
+
+/// Splits `data` into consecutive `chunk_len`-sized chunks, carves the
+/// chunks into contiguous per-worker blocks, and applies
+/// `f(&mut state, chunk_index, chunk)` to each chunk, where `state` is
+/// produced **once per worker** by `init` — the hook the conv engines
+/// use for arena-style scratch (packed window words, SIMD lane buffers)
+/// that would otherwise be reallocated per output row.
+///
+/// Block `b` of `w` workers owns `⌊n/w⌋ + (b < n mod w)` chunks, so
+/// block sizes differ by at most one chunk; workers are capped at the
+/// chunk count (never spawns an idle thread). Chunks are disjoint
+/// `&mut` slices obtained by `split_at_mut`, so workers never alias.
+/// Each worker stops at its first failing chunk; after all workers
+/// join, the error with the **minimum chunk index** is returned — the
+/// same error the sequential schedule would have produced, regardless
+/// of thread timing.
+///
+/// # Errors
+///
+/// Returns the error from the lowest-indexed failing chunk.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the panic is resumed on the
+/// caller).
+pub fn for_each_chunk_with<T, S, I, F>(
+    policy: ExecPolicy,
+    data: &mut [T],
+    chunk_len: usize,
+    init: I,
+    f: F,
+) -> Result<()>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &mut [T]) -> Result<()> + Sync,
+{
     let chunk_len = chunk_len.max(1);
-    let threads = policy.threads();
-    if threads <= 1 || data.len() <= chunk_len {
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = policy.threads().min(n_chunks.max(1));
+    if workers <= 1 {
+        let mut state = init();
         for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
-            f(idx, chunk)?;
+            f(&mut state, idx, chunk)?;
         }
         return Ok(());
     }
-    // Deal chunks round-robin so each worker owns a disjoint set of
-    // slices; mirrors the scoped-spawn pattern in `inca_sim::sweep`.
-    let mut groups: Vec<Vec<(usize, &mut [T])>> = (0..threads).map(|_| Vec::new()).collect();
-    for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
-        groups[idx % threads].push((idx, chunk));
+
+    // Carve contiguous, balanced blocks of whole chunks.
+    let base = n_chunks / workers;
+    let extra = n_chunks % workers;
+    let mut blocks: Vec<(usize, &mut [T])> = Vec::with_capacity(workers);
+    let mut rest = data;
+    let mut first_chunk = 0usize;
+    for b in 0..workers {
+        let chunks_here = base + usize::from(b < extra);
+        let elems = (chunks_here * chunk_len).min(rest.len());
+        let (block, tail) = rest.split_at_mut(elems);
+        blocks.push((first_chunk, block));
+        first_chunk += chunks_here;
+        rest = tail;
     }
+
+    let init = &init;
     let f = &f;
     crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = groups
+        let handles: Vec<_> = blocks
             .into_iter()
-            .filter(|group| !group.is_empty())
-            .map(|group| {
-                scope.spawn(move |_| -> Result<()> {
-                    for (idx, chunk) in group {
-                        f(idx, chunk)?;
+            .map(|(first_chunk, block)| {
+                scope.spawn(move |_| -> std::result::Result<(), (usize, crate::Error)> {
+                    let mut state = init();
+                    for (off, chunk) in block.chunks_mut(chunk_len).enumerate() {
+                        let idx = first_chunk + off;
+                        f(&mut state, idx, chunk).map_err(|e| (idx, e))?;
                     }
                     Ok(())
                 })
             })
             .collect();
-        let mut first_err = None;
+        // Each worker reports its first (lowest-index) error; the
+        // global minimum across workers is exactly the chunk the
+        // sequential schedule would have failed on — every chunk before
+        // it succeeded in the worker that owned it.
+        let mut first_err: Option<(usize, crate::Error)> = None;
         for handle in handles {
             match handle.join() {
                 Ok(Ok(())) => {}
-                Ok(Err(e)) => {
-                    first_err.get_or_insert(e);
+                Ok(Err((idx, e))) => {
+                    if first_err.as_ref().is_none_or(|&(best, _)| idx < best) {
+                        first_err = Some((idx, e));
+                    }
                 }
                 Err(payload) => std::panic::resume_unwind(payload),
             };
         }
         match first_err {
-            Some(e) => Err(e),
+            Some((_, e)) => Err(e),
             None => Ok(()),
         }
     })
@@ -170,6 +263,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn sequential_and_parallel_fill_identically() {
@@ -184,7 +278,76 @@ mod tests {
             .unwrap();
             data
         };
-        assert_eq!(fill(ExecPolicy::sequential()), fill(ExecPolicy::parallel_with(4)));
+        let seq = fill(ExecPolicy::sequential());
+        for threads in 2..=6 {
+            assert_eq!(seq, fill(ExecPolicy::parallel_with(threads)), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn blocks_cover_every_chunk_exactly_once() {
+        // 103 elements / chunk_len 7 = 15 chunks across 4 workers:
+        // blocks of 4, 4, 4, 3 chunks, the last chunk partial (5 elems).
+        let mut data = vec![usize::MAX; 103];
+        let seen = AtomicUsize::new(0);
+        for_each_chunk(ExecPolicy::parallel_with(4), &mut data, 7, |idx, chunk| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(chunk.len(), if idx == 14 { 5 } else { 7 });
+            chunk.fill(idx);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), 15);
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 7, "element {i}");
+        }
+    }
+
+    #[test]
+    fn worker_state_initialized_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let calls = AtomicUsize::new(0);
+        let mut data = vec![0u8; 96];
+        for_each_chunk_with(
+            ExecPolicy::parallel_with(3),
+            &mut data,
+            8,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_state, _idx, _chunk| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(inits.load(Ordering::Relaxed), 3, "one init per worker, not per chunk");
+        assert_eq!(calls.load(Ordering::Relaxed), 12);
+
+        // Sequential: exactly one state for the whole pass.
+        inits.store(0, Ordering::Relaxed);
+        for_each_chunk_with(
+            ExecPolicy::sequential(),
+            &mut data,
+            8,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, _, _| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn workers_capped_at_chunk_count() {
+        let inits = AtomicUsize::new(0);
+        let mut data = vec![0u8; 10];
+        for_each_chunk_with(
+            ExecPolicy::parallel_with(16),
+            &mut data,
+            4,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, _, _| Ok(()),
+        )
+        .unwrap();
+        assert_eq!(inits.load(Ordering::Relaxed), 3, "3 chunks never need 16 workers");
     }
 
     #[test]
@@ -201,10 +364,57 @@ mod tests {
     }
 
     #[test]
+    fn lowest_indexed_error_wins_regardless_of_join_order() {
+        // Chunks 2 and 9 both fail, owned by different workers; chunk
+        // 9's worker finishes its block first (chunk 2's worker is
+        // slowed down), yet chunk 2's error must still be the one
+        // returned — the doc promises "first error in chunk order".
+        for _ in 0..20 {
+            let mut data = vec![0u8; 48];
+            let r = for_each_chunk(ExecPolicy::parallel_with(4), &mut data, 4, |idx, _| match idx {
+                2 => {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    Err(crate::Error::Config("low".into()))
+                }
+                9 => Err(crate::Error::Config("high".into())),
+                _ => Ok(()),
+            });
+            match r {
+                Err(crate::Error::Config(msg)) => assert_eq!(msg, "low"),
+                other => panic!("expected Config(low), got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn worker_stops_at_its_first_failing_chunk() {
+        // One worker owns all chunks; nothing after the failing chunk runs.
+        let calls = AtomicUsize::new(0);
+        let mut data = vec![0u8; 40];
+        let r = for_each_chunk(ExecPolicy::parallel_with(1), &mut data, 4, |idx, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if idx == 3 {
+                Err(crate::Error::Config("stop".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(r.is_err());
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
     fn policy_thread_counts() {
         assert_eq!(ExecPolicy::sequential().threads(), 1);
         assert_eq!(ExecPolicy::parallel_with(0).threads(), 1);
         assert!(ExecPolicy::parallel().threads() >= 1);
+        // `parallel()` can never oversubscribe…
+        assert_eq!(ExecPolicy::parallel().threads(), ExecPolicy::parallel().effective_threads());
+        // …while explicit counts are honored but reported honestly.
+        let huge = ExecPolicy::parallel_with(4096);
+        assert_eq!(huge.threads(), 4096);
+        assert!(huge.effective_threads() <= available_threads());
+        assert_eq!(ExecPolicy::sequential().effective_threads(), 1);
     }
 
     #[test]

@@ -11,7 +11,7 @@ use inca_telemetry::Event;
 use inca_xbar::packed::words_for;
 use inca_xbar::quant::slice_to_bit_planes;
 use inca_xbar::sliding::output_dims_padded;
-use inca_xbar::{window_dot_packed, PackedKernel, Stack3d};
+use inca_xbar::{and_popcount_lanes, PackedKernel, Stack3d};
 use parking_lot::Mutex;
 
 use crate::exec::{self, ExecPolicy, ReadPath};
@@ -70,10 +70,13 @@ pub struct HwBatchConv {
     /// Kernel magnitude bit-planes: `[out][in][wbit][k*k]`.
     w_pos_planes: Vec<Vec<Vec<Vec<u8>>>>,
     w_neg_planes: Vec<Vec<Vec<Vec<u8>>>>,
-    /// The same bit-planes packed into word-parallel masks for
-    /// [`ReadPath::Packed`]: `[out][in][wbit]`.
-    w_pos_packed: Vec<Vec<Vec<PackedKernel>>>,
-    w_neg_packed: Vec<Vec<Vec<PackedKernel>>>,
+    /// The same bit-planes packed into word-parallel masks and tiled
+    /// across the [`DATA_BITS`] activation-bit groups for
+    /// [`ReadPath::Packed`]: `[out][in][wbit]` of
+    /// `DATA_BITS · k · words_for(k)` words each (one SIMD pass per
+    /// (kernel bit-plane, window, sample) triple).
+    w_pos_tiled: Vec<Vec<Vec<Vec<u64>>>>,
+    w_neg_tiled: Vec<Vec<Vec<Vec<u64>>>>,
     /// Per-output signed sum of weight codes (offset correction).
     kernel_code_sum: Vec<i64>,
     w_scale: f32,
@@ -104,17 +107,17 @@ impl HwBatchConv {
         let w_scale = w_max / weight_levels();
         let mut w_pos_planes = Vec::with_capacity(out_ch);
         let mut w_neg_planes = Vec::with_capacity(out_ch);
-        let mut w_pos_packed = Vec::with_capacity(out_ch);
-        let mut w_neg_packed = Vec::with_capacity(out_ch);
+        let mut w_pos_tiled = Vec::with_capacity(out_ch);
+        let mut w_neg_tiled = Vec::with_capacity(out_ch);
         let mut kernel_code_sum = vec![0i64; out_ch];
-        let pack_all = |planes: &[Vec<u8>]| -> Result<Vec<PackedKernel>> {
-            planes.iter().map(|p| Ok(PackedKernel::pack(k, k, p)?)).collect()
+        let pack_all = |planes: &[Vec<u8>]| -> Result<Vec<Vec<u64>>> {
+            planes.iter().map(|p| Ok(PackedKernel::pack(k, k, p)?.tiled(usize::from(DATA_BITS)))).collect()
         };
         for o in 0..out_ch {
             let mut pos_chan = Vec::with_capacity(in_ch);
             let mut neg_chan = Vec::with_capacity(in_ch);
-            let mut pos_chan_packed = Vec::with_capacity(in_ch);
-            let mut neg_chan_packed = Vec::with_capacity(in_ch);
+            let mut pos_chan_tiled = Vec::with_capacity(in_ch);
+            let mut neg_chan_tiled = Vec::with_capacity(in_ch);
             for c in 0..in_ch {
                 let mut pos = vec![0u32; k * k];
                 let mut neg = vec![0u32; k * k];
@@ -130,15 +133,15 @@ impl HwBatchConv {
                     - neg.iter().map(|&v| i64::from(v)).sum::<i64>();
                 let pos_planes = slice_to_bit_planes(&pos, WEIGHT_BITS);
                 let neg_planes = slice_to_bit_planes(&neg, WEIGHT_BITS);
-                pos_chan_packed.push(pack_all(&pos_planes)?);
-                neg_chan_packed.push(pack_all(&neg_planes)?);
+                pos_chan_tiled.push(pack_all(&pos_planes)?);
+                neg_chan_tiled.push(pack_all(&neg_planes)?);
                 pos_chan.push(pos_planes);
                 neg_chan.push(neg_planes);
             }
             w_pos_planes.push(pos_chan);
             w_neg_planes.push(neg_chan);
-            w_pos_packed.push(pos_chan_packed);
-            w_neg_packed.push(neg_chan_packed);
+            w_pos_tiled.push(pos_chan_tiled);
+            w_neg_tiled.push(neg_chan_tiled);
         }
         Ok(Self {
             out_ch,
@@ -148,8 +151,8 @@ impl HwBatchConv {
             pad,
             w_pos_planes,
             w_neg_planes,
-            w_pos_packed,
-            w_neg_packed,
+            w_pos_tiled,
+            w_neg_tiled,
             kernel_code_sum,
             w_scale,
             bias: bias.to_vec(),
@@ -356,7 +359,12 @@ impl HwBatchConv {
 
     /// The word-parallel read path: each window's activation-bit words are
     /// extracted once per (channel, bit, sample) and reused across every
-    /// output channel, weight bit, and differential side.
+    /// output channel, weight bit, and differential side; each (kernel
+    /// bit-plane, window, sample) triple is one SIMD AND+popcount pass
+    /// over all `DATA_BITS · k · words_for(k)` activation words at once
+    /// (kernel masks pre-tiled per activation-bit group). The extraction
+    /// and SIMD-lane scratch live in a per-worker arena allocated once
+    /// per forward pass via [`exec::for_each_chunk_with`].
     ///
     /// Telemetry is coalesced into one record per event kind per window
     /// burst, with totals exactly the per-broadcast scheme's:
@@ -377,55 +385,67 @@ impl HwBatchConv {
         let xbits = usize::from(DATA_BITS);
         let wbits = usize::from(WEIGHT_BITS);
         let kwords = self.k * words_for(self.k);
+        // Words per (channel, sample) window block == per tiled mask.
+        let xw = xbits * kwords;
         let broadcasts = (self.out_ch * c * 2 * wbits * xbits) as u64;
         // Work in `[oy][ox][o][bi]` order so one extraction serves every
         // output channel, then permute to the scalar layout below.
         let mut window_major = vec![0i64; oh * ow * self.out_ch * b];
-        exec::for_each_chunk(self.policy, &mut window_major, ow * self.out_ch * b, |oy, row| {
-            // `[ci][xbit][bi]` slots of `kwords` words each.
-            let mut window = vec![0u64; c * xbits * b * kwords];
-            for ox in 0..ow {
-                let (ry, rx) = (oy * self.stride, ox * self.stride);
-                for ci in 0..c {
-                    for (xb, stack) in pb.stacks[ci].iter().enumerate() {
-                        for bi in 0..b {
-                            let slot = (((ci * xbits) + xb) * b + bi) * kwords;
-                            stack.plane(bi)?.extract_window(
-                                ry,
-                                rx,
-                                self.k,
-                                self.k,
-                                &mut window[slot..slot + kwords],
-                            )?;
+        exec::for_each_chunk_with(
+            self.policy,
+            &mut window_major,
+            ow * self.out_ch * b,
+            // Per-worker arena: window words (`[ci][bi][xbit]` slots of
+            // `kwords` each — sample-major within a channel so each
+            // (ci, bi) block lines up with one tiled mask) plus the SIMD
+            // lane counts for one such block.
+            || (vec![0u64; c * b * xw], vec![0u32; xw]),
+            |arena, oy, row| {
+                let (window, lanes) = arena;
+                for ox in 0..ow {
+                    let (ry, rx) = (oy * self.stride, ox * self.stride);
+                    for ci in 0..c {
+                        for (xb, stack) in pb.stacks[ci].iter().enumerate() {
+                            for bi in 0..b {
+                                let slot = ((ci * b + bi) * xbits + xb) * kwords;
+                                stack.plane(bi)?.extract_window(
+                                    ry,
+                                    rx,
+                                    self.k,
+                                    self.k,
+                                    &mut window[slot..slot + kwords],
+                                )?;
+                            }
                         }
                     }
-                }
-                inca_telemetry::record(Event::XbarReadPulse, broadcasts * b as u64);
-                inca_telemetry::record(Event::DacDrive, broadcasts * (self.k * self.k) as u64);
-                inca_telemetry::record(Event::AdcConversion, broadcasts * b as u64);
-                inca_telemetry::record(Event::BitSerialCycle, broadcasts);
-                for o in 0..self.out_ch {
-                    let acc = &mut row[(ox * self.out_ch + o) * b..(ox * self.out_ch + o + 1) * b];
-                    for ci in 0..c {
-                        for (sign, kernels) in
-                            [(1i64, &self.w_pos_packed[o][ci]), (-1i64, &self.w_neg_packed[o][ci])]
-                        {
-                            for (wb, kernel) in kernels.iter().enumerate() {
-                                for xb in 0..xbits {
-                                    let base = (((ci * xbits) + xb) * b) * kwords;
+                    inca_telemetry::record(Event::XbarReadPulse, broadcasts * b as u64);
+                    inca_telemetry::record(Event::DacDrive, broadcasts * (self.k * self.k) as u64);
+                    inca_telemetry::record(Event::AdcConversion, broadcasts * b as u64);
+                    inca_telemetry::record(Event::BitSerialCycle, broadcasts);
+                    for o in 0..self.out_ch {
+                        let acc = &mut row[(ox * self.out_ch + o) * b..(ox * self.out_ch + o + 1) * b];
+                        for ci in 0..c {
+                            for (sign, masks) in
+                                [(1i64, &self.w_pos_tiled[o][ci]), (-1i64, &self.w_neg_tiled[o][ci])]
+                            {
+                                for (wb, mask) in masks.iter().enumerate() {
                                     for bi in 0..b {
-                                        let words = &window[base + bi * kwords..base + (bi + 1) * kwords];
-                                        let s = window_dot_packed(words, kernel);
-                                        acc[bi] += sign * (i64::from(s) << (wb + xb));
+                                        let base = (ci * b + bi) * xw;
+                                        let x_words = &window[base..base + xw];
+                                        and_popcount_lanes(x_words, mask, lanes);
+                                        for (xb, group) in lanes.chunks_exact(kwords).enumerate() {
+                                            let s = group.iter().sum::<u32>();
+                                            acc[bi] += sign * (i64::from(s) << (wb + xb));
+                                        }
                                     }
                                 }
                             }
                         }
                     }
                 }
-            }
-            Ok(())
-        })?;
+                Ok(())
+            },
+        )?;
         let mut accs = vec![0i64; self.out_ch * oh * ow * b];
         for oy in 0..oh {
             for ox in 0..ow {

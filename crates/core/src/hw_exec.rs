@@ -50,7 +50,7 @@ use inca_telemetry::Event;
 use inca_xbar::packed::words_for;
 use inca_xbar::quant::slice_to_bit_planes;
 use inca_xbar::sliding::output_dims_padded;
-use inca_xbar::{window_dot_packed, AdcReadout, Crossbar2d, PackedKernel, VerticalPlane};
+use inca_xbar::{and_popcount_lanes, AdcReadout, Crossbar2d, PackedKernel, VerticalPlane};
 use parking_lot::Mutex;
 
 use crate::exec::{self, ExecPolicy, ReadPath};
@@ -146,10 +146,13 @@ pub struct HwConv {
     /// `[out][in][wbit][k*k]`.
     w_pos_planes: Vec<Vec<Vec<Vec<u8>>>>,
     w_neg_planes: Vec<Vec<Vec<Vec<u8>>>>,
-    /// The same bit-planes packed into word-parallel masks for
-    /// [`ReadPath::Packed`]: `[out][in][wbit]`.
-    w_pos_packed: Vec<Vec<Vec<PackedKernel>>>,
-    w_neg_packed: Vec<Vec<Vec<PackedKernel>>>,
+    /// The same bit-planes packed into word-parallel masks and tiled
+    /// across the [`DATA_BITS`] activation-bit groups for
+    /// [`ReadPath::Packed`]: `[out][in][wbit]` of
+    /// `DATA_BITS · k · words_for(k)` words each, so one SIMD
+    /// AND+popcount pass covers a whole (kernel bit-plane, window) pair.
+    w_pos_tiled: Vec<Vec<Vec<Vec<u64>>>>,
+    w_neg_tiled: Vec<Vec<Vec<Vec<u64>>>>,
     /// Per-output signed sum of weight codes (offset correction).
     kernel_code_sum: Vec<i64>,
     w_scale: f32,
@@ -193,17 +196,17 @@ impl HwConv {
         };
         let mut w_pos_planes = Vec::with_capacity(out_ch);
         let mut w_neg_planes = Vec::with_capacity(out_ch);
-        let mut w_pos_packed = Vec::with_capacity(out_ch);
-        let mut w_neg_packed = Vec::with_capacity(out_ch);
+        let mut w_pos_tiled = Vec::with_capacity(out_ch);
+        let mut w_neg_tiled = Vec::with_capacity(out_ch);
         let mut kernel_code_sum = vec![0i64; out_ch];
-        let pack_all = |planes: &[Vec<u8>]| -> Result<Vec<PackedKernel>> {
-            planes.iter().map(|p| Ok(PackedKernel::pack(k, k, p)?)).collect()
+        let pack_all = |planes: &[Vec<u8>]| -> Result<Vec<Vec<u64>>> {
+            planes.iter().map(|p| Ok(PackedKernel::pack(k, k, p)?.tiled(usize::from(DATA_BITS)))).collect()
         };
         for o in 0..out_ch {
             let mut pos_chan = Vec::with_capacity(in_ch);
             let mut neg_chan = Vec::with_capacity(in_ch);
-            let mut pos_chan_packed = Vec::with_capacity(in_ch);
-            let mut neg_chan_packed = Vec::with_capacity(in_ch);
+            let mut pos_chan_tiled = Vec::with_capacity(in_ch);
+            let mut neg_chan_tiled = Vec::with_capacity(in_ch);
             for c in 0..in_ch {
                 let mut pos = vec![0u32; k * k];
                 let mut neg = vec![0u32; k * k];
@@ -216,15 +219,15 @@ impl HwConv {
                     - neg.iter().map(|&v| i64::from(v)).sum::<i64>();
                 let pos_planes = slice_to_bit_planes(&pos, WEIGHT_BITS);
                 let neg_planes = slice_to_bit_planes(&neg, WEIGHT_BITS);
-                pos_chan_packed.push(pack_all(&pos_planes)?);
-                neg_chan_packed.push(pack_all(&neg_planes)?);
+                pos_chan_tiled.push(pack_all(&pos_planes)?);
+                neg_chan_tiled.push(pack_all(&neg_planes)?);
                 pos_chan.push(pos_planes);
                 neg_chan.push(neg_planes);
             }
             w_pos_planes.push(pos_chan);
             w_neg_planes.push(neg_chan);
-            w_pos_packed.push(pos_chan_packed);
-            w_neg_packed.push(neg_chan_packed);
+            w_pos_tiled.push(pos_chan_tiled);
+            w_neg_tiled.push(neg_chan_tiled);
         }
         Ok(Self {
             out_ch,
@@ -234,8 +237,8 @@ impl HwConv {
             pad,
             w_pos_planes,
             w_neg_planes,
-            w_pos_packed,
-            w_neg_packed,
+            w_pos_tiled,
+            w_neg_tiled,
             kernel_code_sum,
             w_scale,
             bias: bias.to_vec(),
@@ -411,8 +414,17 @@ impl HwConv {
 
     /// The word-parallel read path: every window's activation-bit words
     /// are extracted **once** and reused across all output channels,
-    /// weight bits, and both differential sides; each read is one
-    /// AND+popcount pass over `k · words_for(k)` words.
+    /// weight bits, and both differential sides; each (kernel bit-plane,
+    /// window) pair is one SIMD AND+popcount pass over all
+    /// `DATA_BITS · k · words_for(k)` activation words at once (the
+    /// kernel masks are pre-tiled per activation-bit group, see
+    /// [`inca_xbar::PackedKernel::tiled`]), with the per-read ADC
+    /// saturation applied group-by-group on the resulting lane counts.
+    ///
+    /// The window-extraction and lane scratch live in a per-worker arena
+    /// allocated once per forward pass (via
+    /// [`exec::for_each_chunk_with`]), not per output row — the
+    /// allocation churn that sank the original parallel schedule.
     ///
     /// Telemetry is coalesced into one [`inca_telemetry::record`] per
     /// event kind per window burst. The burst totals are *exactly* the
@@ -432,57 +444,66 @@ impl HwConv {
         let wbits = usize::from(WEIGHT_BITS);
         let xbits = usize::from(DATA_BITS);
         let kwords = self.k * words_for(self.k);
+        // Words per channel window block == per tiled kernel mask.
+        let xw = xbits * kwords;
         let reads = (self.out_ch * self.in_ch * 2 * wbits * xbits) as u64;
         let dac_drives = reads * (self.k * self.k) as u64;
         let max_code = self.adc.max_code();
         // Accumulate as `[oy][ox][o]` so one window's extraction serves
         // every output channel; transposed into NCHW afterwards.
         let mut accs = vec![0f32; oh * ow * self.out_ch];
-        exec::for_each_chunk(self.policy, &mut accs, ow * self.out_ch, |oy, row| {
-            // Window extraction buffer, reused across the row:
-            // `[ci][xbit]` slots of `kwords` words each.
-            let mut window = vec![0u64; self.in_ch * xbits * kwords];
-            for ox in 0..ow {
-                let (ry, rx) = (oy * self.stride, ox * self.stride);
-                for (ci, partitions) in pa.partitions.iter().enumerate() {
-                    let tile = find_tile(partitions, ry, rx, self.k)?;
-                    for (b, plane) in tile.planes.iter().enumerate() {
-                        let slot = (ci * xbits + b) * kwords;
-                        plane.extract_window(
-                            ry - tile.row0,
-                            rx - tile.col0,
-                            self.k,
-                            self.k,
-                            &mut window[slot..slot + kwords],
-                        )?;
+        exec::for_each_chunk_with(
+            self.policy,
+            &mut accs,
+            ow * self.out_ch,
+            // Per-worker arena: window words (`[ci][xbit]` slots of
+            // `kwords` each) plus SIMD lane counts for one channel block.
+            || (vec![0u64; self.in_ch * xw], vec![0u32; xw]),
+            |arena, oy, row| {
+                let (window, lanes) = arena;
+                for ox in 0..ow {
+                    let (ry, rx) = (oy * self.stride, ox * self.stride);
+                    for (ci, partitions) in pa.partitions.iter().enumerate() {
+                        let tile = find_tile(partitions, ry, rx, self.k)?;
+                        for (b, plane) in tile.planes.iter().enumerate() {
+                            let slot = (ci * xbits + b) * kwords;
+                            plane.extract_window(
+                                ry - tile.row0,
+                                rx - tile.col0,
+                                self.k,
+                                self.k,
+                                &mut window[slot..slot + kwords],
+                            )?;
+                        }
                     }
-                }
-                inca_telemetry::record(Event::XbarReadPulse, reads);
-                inca_telemetry::record(Event::DacDrive, dac_drives);
-                inca_telemetry::record(Event::AdcConversion, reads);
-                inca_telemetry::record(Event::BitSerialCycle, reads);
-                for o in 0..self.out_ch {
-                    let mut acc: i64 = 0;
-                    for ci in 0..self.in_ch {
-                        let x_words = &window[ci * xbits * kwords..(ci + 1) * xbits * kwords];
-                        for (sign, kernels) in
-                            [(1i64, &self.w_pos_packed[o][ci]), (-1i64, &self.w_neg_packed[o][ci])]
-                        {
-                            for (wb, kernel) in kernels.iter().enumerate() {
-                                for (xb, bits) in x_words.chunks_exact(kwords).enumerate() {
-                                    let code = window_dot_packed(bits, kernel).min(max_code);
-                                    acc += sign * (i64::from(code) << (wb + xb));
+                    inca_telemetry::record(Event::XbarReadPulse, reads);
+                    inca_telemetry::record(Event::DacDrive, dac_drives);
+                    inca_telemetry::record(Event::AdcConversion, reads);
+                    inca_telemetry::record(Event::BitSerialCycle, reads);
+                    for o in 0..self.out_ch {
+                        let mut acc: i64 = 0;
+                        for ci in 0..self.in_ch {
+                            let x_words = &window[ci * xw..(ci + 1) * xw];
+                            for (sign, masks) in
+                                [(1i64, &self.w_pos_tiled[o][ci]), (-1i64, &self.w_neg_tiled[o][ci])]
+                            {
+                                for (wb, mask) in masks.iter().enumerate() {
+                                    and_popcount_lanes(x_words, mask, lanes);
+                                    for (xb, group) in lanes.chunks_exact(kwords).enumerate() {
+                                        let code = group.iter().sum::<u32>().min(max_code);
+                                        acc += sign * (i64::from(code) << (wb + xb));
+                                    }
                                 }
                             }
                         }
+                        row[ox * self.out_ch + o] = acc as f32 * pa.x_scale * self.w_scale
+                            + pa.x_min * self.w_scale * self.kernel_code_sum[o] as f32
+                            + self.bias[o];
                     }
-                    row[ox * self.out_ch + o] = acc as f32 * pa.x_scale * self.w_scale
-                        + pa.x_min * self.w_scale * self.kernel_code_sum[o] as f32
-                        + self.bias[o];
                 }
-            }
-            Ok(())
-        })?;
+                Ok(())
+            },
+        )?;
         for o in 0..self.out_ch {
             for oy in 0..oh {
                 for ox in 0..ow {

@@ -23,7 +23,7 @@ use inca_xbar::packed::words_for;
 use inca_xbar::quant::slice_to_bit_planes;
 use inca_xbar::{window_dot_packed, PackedKernel, VerticalPlane};
 
-use crate::exec::{ExecPolicy, ReadPath};
+use crate::exec::{self, ExecPolicy, ReadPath};
 use crate::hw_exec::{weight_levels, DATA_BITS, WEIGHT_BITS};
 use crate::{Error, Result};
 
@@ -98,20 +98,37 @@ impl HwGradientUnit {
         self.weight_gradient_with(delta, k, ReadPath::Packed)
     }
 
-    /// [`HwGradientUnit::weight_gradient`] with an explicit [`ReadPath`].
-    ///
-    /// The packed path packs each δ bit-plane once (it is reused across
-    /// all `k²` gradient positions), extracts each window's activation
-    /// words once per activation bit, and coalesces telemetry into one
-    /// record per event kind per gradient position — totals exactly the
-    /// per-read scheme's (`2·bits²` reads per position, each one
-    /// [`Event::XbarReadPulse`] and `OH·OW` DAC drives; the gradient read
-    /// never digitizes, so neither path counts ADC conversions).
+    /// [`HwGradientUnit::weight_gradient`] with an explicit [`ReadPath`]
+    /// (sequential schedule).
     ///
     /// # Errors
     ///
     /// Same as [`HwGradientUnit::weight_gradient`].
     pub fn weight_gradient_with(&self, delta: &Tensor, k: usize, read_path: ReadPath) -> Result<Tensor> {
+        self.weight_gradient_policy(delta, k, ExecPolicy::sequential().with_read_path(read_path))
+    }
+
+    /// [`HwGradientUnit::weight_gradient`] with a full [`ExecPolicy`]:
+    /// gradient positions are fanned across scoped workers one kernel
+    /// row at a time (each of the `k²` positions is an independent
+    /// window read of the resident planes), bit-exact with sequential
+    /// execution.
+    ///
+    /// The packed path packs each δ bit-plane once (it is reused across
+    /// all `k²` gradient positions), extracts each window's activation
+    /// words once per activation bit into a per-worker scratch arena,
+    /// and coalesces telemetry into one record per event kind per
+    /// gradient position — totals exactly the per-read scheme's
+    /// (`2·bits²` reads per position, each one [`Event::XbarReadPulse`]
+    /// and `OH·OW` DAC drives; the gradient read never digitizes, so
+    /// neither path counts ADC conversions). The δ windows span
+    /// `OH · words_for(OW)` words, wide enough that the SIMD dispatch in
+    /// [`inca_xbar::simd`] engages directly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HwGradientUnit::weight_gradient`].
+    pub fn weight_gradient_policy(&self, delta: &Tensor, k: usize, policy: ExecPolicy) -> Result<Tensor> {
         if delta.shape().len() != 2 {
             return Err(Error::Config(format!("expected [OH, OW] errors, got {:?}", delta.shape())));
         }
@@ -145,10 +162,12 @@ impl HwGradientUnit {
 
         let _span = inca_telemetry::span("hw_train.weight_gradient");
         let mut grad = Tensor::zeros(&[k, k]);
-        match read_path {
+        // One chunk per kernel row: each worker owns whole rows of
+        // gradient positions (chunk index == kh).
+        match policy.read_path {
             ReadPath::Scalar => {
-                for kh in 0..k {
-                    for kw in 0..k {
+                exec::for_each_chunk(policy, grad.data_mut(), k, |kh, row| {
+                    for (kw, slot) in row.iter_mut().enumerate() {
                         // One δ-kernel window read at offset (kh, kw): Eq. 4's red
                         // box. δ spans OHxOW — larger than a weight kernel, but the
                         // 2T1R select lines gate any rectangle.
@@ -165,10 +184,10 @@ impl HwGradientUnit {
                                 acc += (i64::from(p) - i64::from(n)) << (db + xb);
                             }
                         }
-                        *grad.at4_mut(0, 0, kh, kw) =
-                            acc as f32 * self.x_scale * d_scale + self.x_min * delta_sum;
+                        *slot = acc as f32 * self.x_scale * d_scale + self.x_min * delta_sum;
                     }
-                }
+                    Ok(())
+                })?;
             }
             ReadPath::Packed => {
                 let pack = |planes: &[Vec<u8>]| -> Result<Vec<PackedKernel>> {
@@ -178,33 +197,40 @@ impl HwGradientUnit {
                 let neg_packed = pack(&neg_planes)?;
                 let kwords = oh * words_for(ow);
                 let reads = (2 * pos_planes.len() * self.planes.len()) as u64;
-                let mut window = vec![0u64; self.planes.len() * kwords];
-                for kh in 0..k {
-                    for kw in 0..k {
-                        for (xb, plane) in self.planes.iter().enumerate() {
-                            plane.extract_window(
-                                kh,
-                                kw,
-                                oh,
-                                ow,
-                                &mut window[xb * kwords..(xb + 1) * kwords],
-                            )?;
-                        }
-                        inca_telemetry::record(Event::BitSerialCycle, reads);
-                        inca_telemetry::record(Event::XbarReadPulse, reads);
-                        inca_telemetry::record(Event::DacDrive, reads * (oh * ow) as u64);
-                        let mut acc: i64 = 0;
-                        for (db, (pp, np)) in pos_packed.iter().zip(&neg_packed).enumerate() {
-                            for (xb, words) in window.chunks_exact(kwords).enumerate() {
-                                let p = window_dot_packed(words, pp);
-                                let n = window_dot_packed(words, np);
-                                acc += (i64::from(p) - i64::from(n)) << (db + xb);
+                let planes_len = self.planes.len();
+                exec::for_each_chunk_with(
+                    policy,
+                    grad.data_mut(),
+                    k,
+                    // Per-worker window arena, one slot per activation bit.
+                    || vec![0u64; planes_len * kwords],
+                    |window, kh, row| {
+                        for (kw, slot) in row.iter_mut().enumerate() {
+                            for (xb, plane) in self.planes.iter().enumerate() {
+                                plane.extract_window(
+                                    kh,
+                                    kw,
+                                    oh,
+                                    ow,
+                                    &mut window[xb * kwords..(xb + 1) * kwords],
+                                )?;
                             }
+                            inca_telemetry::record(Event::BitSerialCycle, reads);
+                            inca_telemetry::record(Event::XbarReadPulse, reads);
+                            inca_telemetry::record(Event::DacDrive, reads * (oh * ow) as u64);
+                            let mut acc: i64 = 0;
+                            for (db, (pp, np)) in pos_packed.iter().zip(&neg_packed).enumerate() {
+                                for (xb, words) in window.chunks_exact(kwords).enumerate() {
+                                    let p = window_dot_packed(words, pp);
+                                    let n = window_dot_packed(words, np);
+                                    acc += (i64::from(p) - i64::from(n)) << (db + xb);
+                                }
+                            }
+                            *slot = acc as f32 * self.x_scale * d_scale + self.x_min * delta_sum;
                         }
-                        *grad.at4_mut(0, 0, kh, kw) =
-                            acc as f32 * self.x_scale * d_scale + self.x_min * delta_sum;
-                    }
-                }
+                        Ok(())
+                    },
+                )?;
             }
         }
         Ok(grad)
@@ -417,6 +443,28 @@ mod tests {
         let packed = unit.weight_gradient(&delta2d, k).unwrap();
         let scalar = unit.weight_gradient_with(&delta2d, k, ReadPath::Scalar).unwrap();
         assert_eq!(packed.data(), scalar.data());
+    }
+
+    #[test]
+    fn parallel_gradient_policy_is_bit_exact() {
+        let (h, k) = (11usize, 5usize);
+        let oh = h - k + 1;
+        let x2d = random_tensor(&[h, h], 83, -0.5, 1.0);
+        let delta2d = random_tensor(&[oh, oh], 84, -0.4, 0.4);
+        let unit = HwGradientUnit::program(&x2d).unwrap();
+        let seq = unit.weight_gradient(&delta2d, k).unwrap();
+        for threads in 2..=4 {
+            let par = unit.weight_gradient_policy(&delta2d, k, ExecPolicy::parallel_with(threads)).unwrap();
+            assert_eq!(seq.data(), par.data(), "threads {threads}");
+            let par_scalar = unit
+                .weight_gradient_policy(
+                    &delta2d,
+                    k,
+                    ExecPolicy::parallel_with(threads).with_read_path(ReadPath::Scalar),
+                )
+                .unwrap();
+            assert_eq!(seq.data(), par_scalar.data(), "scalar threads {threads}");
+        }
     }
 
     #[test]

@@ -83,6 +83,34 @@ fn parallel_batch_conv_counts_match_sequential() {
 }
 
 #[test]
+fn counts_are_schedule_invariant_for_large_kernels() {
+    // Coarse contiguous chunking splits the row space differently at
+    // every worker count; the recorded physics must not notice. Larger
+    // kernels exercise the multi-word (5×5, 7×7) packed masks too.
+    let _guard = serial();
+    for k in [5usize, 7] {
+        let w = random_tensor(&[3, 2, k, k], 61 + k as u64, -0.5, 0.5);
+        let bias = vec![0.0f32; 3];
+        let x = random_tensor(&[1, 2, 14, 14], 62, -0.5, 1.0);
+        let seq = HwConv::from_float(&w, &bias, 1, k / 2).unwrap();
+        let baseline = counted(|| {
+            seq.forward(&x).unwrap();
+        });
+        assert!(baseline.iter().any(|&(_, n)| n > 0), "k={k}: sequential run recorded nothing");
+        // 16 workers exceed both the host and the chunk count: the
+        // executor caps at the chunk count and totals must still match.
+        for threads in [2usize, 3, 16] {
+            let par = seq.clone().with_policy(ExecPolicy::parallel_with(threads));
+            par.clear_cache();
+            let parallel = counted(|| {
+                par.forward(&x).unwrap();
+            });
+            assert_eq!(baseline, parallel, "totals diverged at k={k}, {threads} threads");
+        }
+    }
+}
+
+#[test]
 fn packed_and_scalar_read_paths_count_identical_totals() {
     let _guard = serial();
     let w = random_tensor(&[4, 2, 3, 3], 51, -0.5, 0.5);

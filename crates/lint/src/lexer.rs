@@ -6,7 +6,8 @@
 //! (never tokenized), so rule patterns can match on idents without being
 //! fooled by prose or string payloads. Waiver comments of the form
 //! `// lint: allow(rule-name)` are collected into a per-line map as a
-//! side product of lexing.
+//! side product of lexing, and so are the lines of `// SAFETY: …`
+//! comments (consumed by the `safety-comment` rule).
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -58,6 +59,9 @@ pub struct Lexed {
     /// `line → rule names` waived on that line (and the line after it),
     /// harvested from `// lint: allow(rule)` comments.
     pub waivers: BTreeMap<u32, BTreeSet<String>>,
+    /// Lines carrying a `// SAFETY:` comment (the `safety-comment` rule
+    /// requires one near every `unsafe` block).
+    pub safety_lines: BTreeSet<u32>,
 }
 
 impl Lexed {
@@ -94,6 +98,9 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 let text: String = bytes[start..i].iter().collect();
                 collect_waivers(&text, line, &mut out.waivers);
+                if text.contains("SAFETY:") {
+                    out.safety_lines.insert(line);
+                }
             }
             '/' if matches!(bytes.get(i + 1), Some('*')) => {
                 // Block comment, nested per Rust.
@@ -341,5 +348,15 @@ mod tests {
         assert!(l.is_waived("raw-unit", 4));
         assert!(l.is_waived("determinism", 4));
         assert!(!l.is_waived("panic-path", 4));
+    }
+
+    #[test]
+    fn safety_comment_lines_are_collected() {
+        let l = lex(
+            "// SAFETY: bounds checked above\nunsafe { go() }\n// plain comment\nx(); // SAFETY: inline\n",
+        );
+        assert!(l.safety_lines.contains(&1));
+        assert!(!l.safety_lines.contains(&3));
+        assert!(l.safety_lines.contains(&4));
     }
 }

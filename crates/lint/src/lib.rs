@@ -1,6 +1,6 @@
 //! `inca-lint`: a self-contained static analyzer for the INCA workspace.
 //!
-//! Four rules guard the invariants the dimensional-correctness layer
+//! Five rules guard the invariants the dimensional-correctness layer
 //! introduced (see `DESIGN.md` §10):
 //!
 //! 1. **raw-unit** — public unit-suffixed API must use `inca-units`
@@ -12,6 +12,9 @@
 //!    library code.
 //! 4. **telemetry-ownership** — `record(Event::…)` call sites must
 //!    live in the event's owning crate per the DESIGN.md map.
+//! 5. **safety-comment** — every non-test `unsafe { … }` block must
+//!    carry a `// SAFETY:` comment on the same line or within the
+//!    three lines above it.
 //!
 //! The analyzer is dependency-free: a hand-rolled lexer (`lexer`), a
 //! rule engine over the token stream (`rules`) and a stable JSON
@@ -87,7 +90,7 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs all four rules over the workspace at `root`.
+/// Runs all five rules over the workspace at `root`.
 ///
 /// `owners` is `None` when no ownership map is available (the
 /// telemetry-ownership rule is then skipped).
@@ -108,6 +111,7 @@ pub fn run(root: &Path, owners: Option<&OwnershipMap>) -> Result<LintRun, String
         rules::check_raw_unit(&file, &mut findings);
         rules::check_determinism(&file, &mut findings);
         rules::check_panic_path(&file, &mut findings);
+        rules::check_safety_comment(&file, &mut findings);
         if let Some(map) = owners {
             rules::check_telemetry_ownership(&file, map, &mut findings);
         }

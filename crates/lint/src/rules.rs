@@ -1,4 +1,4 @@
-//! The four lint rules.
+//! The five lint rules.
 //!
 //! * `raw-unit` (L1) — public items whose names carry a unit suffix
 //!   (`_j`, `_s`, `_pj`, `_mm2`, `_hz`) must be typed with an
@@ -11,6 +11,9 @@
 //! * `telemetry-ownership` (L4) — `record(Event::…)`/`incr(Event::…)`
 //!   call sites must live in the crate that owns the event per the
 //!   machine-readable map in `DESIGN.md`.
+//! * `safety-comment` (L5) — every non-test `unsafe { … }` block (the
+//!   `std::arch` SIMD kernels) must carry a `// SAFETY:` comment on the
+//!   same line or within the three lines above it.
 //!
 //! Every rule is waivable per line with `// lint: allow(rule-name)` —
 //! on the offending line or the line directly above. Waived findings
@@ -41,7 +44,7 @@ const UNIT_SUFFIXES: [&str; 5] = ["_j", "_s", "_pj", "_mm2", "_hz"];
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule identifier (`raw-unit`, `determinism`, `panic-path`,
-    /// `telemetry-ownership`).
+    /// `telemetry-ownership`, `safety-comment`).
     pub rule: &'static str,
     /// Workspace-relative file path.
     pub file: String,
@@ -441,6 +444,35 @@ pub fn check_telemetry_ownership(file: &SourceFile, owners: &OwnershipMap, out: 
     }
 }
 
+/// L5: every `unsafe { … }` block must be justified by a `// SAFETY:`
+/// comment on the same line or within the three lines above it.
+///
+/// Only block expressions are checked: `unsafe fn`/`unsafe impl`/
+/// `unsafe trait` declarations state their contract in `# Safety` doc
+/// sections instead (and their *callers* are the `unsafe { … }` blocks
+/// this rule covers). `#[cfg(test)]` code is exempt like every rule.
+pub fn check_safety_comment(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = file.tokens();
+    for (idx, t) in toks.iter().enumerate() {
+        if file.test_mask[idx] || t.ident() != Some("unsafe") {
+            continue;
+        }
+        if !toks.get(idx + 1).is_some_and(|n| n.is_punct('{')) {
+            continue;
+        }
+        let line = t.line;
+        let covered = (line.saturating_sub(3)..=line).any(|l| file.lexed.safety_lines.contains(&l));
+        if !covered {
+            file.push(
+                out,
+                "safety-comment",
+                line,
+                "`unsafe` block without a `// SAFETY:` comment; state the upheld invariant on the line(s) above".to_string(),
+            );
+        }
+    }
+}
+
 /// Parses the ownership map from DESIGN.md: a fenced code block whose
 /// info string contains `lint:telemetry-ownership`, with one
 /// `Variant: crate1, crate2` line per event.
@@ -586,6 +618,62 @@ mod tests {
         }
         // The same code in a library file is still flagged.
         assert_eq!(run(check_panic_path, "bench", "lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_flags_bare_unsafe_blocks() {
+        let src = "
+            fn f(x: &[u64]) -> u64 {
+                unsafe { *x.get_unchecked(0) }
+            }
+        ";
+        let f = run(check_safety_comment, "xbar", "simd.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "safety-comment");
+        assert!(!f[0].waived);
+    }
+
+    #[test]
+    fn safety_comment_accepts_nearby_comment() {
+        let src = "
+            fn f(x: &[u64]) -> u64 {
+                // SAFETY: the caller guarantees `x` is non-empty,
+                // so index 0 is in bounds.
+                unsafe { *x.get_unchecked(0) }
+            }
+            fn g(x: &[u64]) -> u64 {
+                unsafe { *x.get_unchecked(0) } // SAFETY: same line
+            }
+        ";
+        assert!(run(check_safety_comment, "xbar", "simd.rs", src).is_empty());
+    }
+
+    #[test]
+    fn safety_comment_window_is_three_lines() {
+        let src = "
+            fn f(x: &[u64]) -> u64 {
+                // SAFETY: too far away to count
+                let _pad = 0;
+                let _pad2 = 0;
+                let _pad3 = 0;
+                unsafe { *x.get_unchecked(0) }
+            }
+        ";
+        assert_eq!(run(check_safety_comment, "xbar", "simd.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_skips_declarations_tests_and_counts_waivers() {
+        let src = "
+            unsafe fn raw(p: *const u64) -> u64 { unsafe { *p } } // lint: allow(safety-comment)
+            #[cfg(test)]
+            mod tests {
+                fn t(x: &[u64]) { let _ = unsafe { *x.get_unchecked(0) }; }
+            }
+        ";
+        let f = run(check_safety_comment, "xbar", "simd.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].waived);
     }
 
     #[test]

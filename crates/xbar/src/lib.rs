@@ -42,7 +42,7 @@
 //! # Ok::<(), inca_xbar::XbarError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)] // relaxed from forbid: `simd` opts in for its std::arch kernels
 #![warn(missing_docs)]
 
 mod adc_readout;
@@ -52,6 +52,7 @@ pub mod packed;
 mod pipeline;
 mod plane;
 pub mod quant;
+pub mod simd;
 pub mod sliding;
 mod sneak;
 mod stack3d;
@@ -62,6 +63,7 @@ pub use error::XbarError;
 pub use packed::{window_dot_packed, PackedKernel};
 pub use pipeline::{simulate_pipeline, PipelineConfig, PipelineStats};
 pub use plane::VerticalPlane;
+pub use simd::{and_popcount, and_popcount_lanes};
 pub use sneak::{sneak_path_current, SneakPathEstimate};
 pub use stack3d::Stack3d;
 

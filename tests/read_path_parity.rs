@@ -120,4 +120,54 @@ proptest! {
         let par = seq.clone().with_policy(ExecPolicy::parallel_with(threads));
         prop_assert_eq!(seq.forward(&x).unwrap().data(), par.forward(&x).unwrap().data());
     }
+
+    /// Three-way agreement across every kernel size the engines meet in
+    /// practice: the sequential scalar byte-loop, the sequential
+    /// SIMD-packed path (tiled masks + `and_popcount_lanes`), and the
+    /// coarse-chunked parallel schedule on top of it all produce the
+    /// same bits for k ∈ {1, 3, 5, 7} and random worker counts.
+    #[test]
+    fn schedules_and_read_paths_agree_across_kernel_sizes(
+        seed in 0u64..10_000,
+        out_ch in 1usize..=3,
+        in_ch in 1usize..=2,
+        k_sel in 0usize..=3,
+        h in 8usize..=12,
+        threads in 2usize..=6,
+    ) {
+        let k = [1usize, 3, 5, 7][k_sel];
+        let pad = k / 2;
+        let weights = random_tensor(&[out_ch, in_ch, k, k], seed, -0.5, 0.5);
+        let bias: Vec<f32> = (0..out_ch).map(|o| o as f32 * 0.05 - 0.02).collect();
+        let x = random_tensor(&[1, in_ch, h, h], seed.wrapping_add(7), -0.6, 1.0);
+        let packed_seq = HwConv::from_float(&weights, &bias, 1, pad).unwrap();
+        let scalar_seq =
+            packed_seq.clone().with_policy(ExecPolicy::sequential().with_read_path(ReadPath::Scalar));
+        let packed_par = packed_seq.clone().with_policy(ExecPolicy::parallel_with(threads));
+
+        let y_scalar = scalar_seq.forward(&x).unwrap();
+        let y_packed = packed_seq.forward(&x).unwrap();
+        let y_par = packed_par.forward(&x).unwrap();
+        prop_assert_eq!(y_scalar.data(), y_packed.data(), "scalar vs SIMD-packed, k={}", k);
+        prop_assert_eq!(y_packed.data(), y_par.data(), "sequential vs parallel, k={}", k);
+    }
+
+    /// The batch engine's parallel schedule is bit-exact too, with the
+    /// chunk length (`ow · out_ch · batch`) varying with every shape.
+    #[test]
+    fn batch_packed_parallel_matches_sequential(
+        seed in 0u64..10_000,
+        batch in 1usize..=3,
+        out_ch in 1usize..=2,
+        in_ch in 1usize..=2,
+        h in 6usize..=9,
+        threads in 2usize..=6,
+    ) {
+        let weights = random_tensor(&[out_ch, in_ch, 3, 3], seed, -0.5, 0.5);
+        let bias = vec![0.01f32; out_ch];
+        let x = random_tensor(&[batch, in_ch, h, h], seed.wrapping_add(9), -0.4, 1.0);
+        let seq = HwBatchConv::from_float(&weights, &bias, 1, 1).unwrap();
+        let par = seq.clone().with_policy(ExecPolicy::parallel_with(threads));
+        prop_assert_eq!(seq.forward(&x).unwrap().data(), par.forward(&x).unwrap().data());
+    }
 }
