@@ -1,13 +1,19 @@
 //! Command-line experiment harness: regenerates every table and figure of
 //! the paper. See `inca_bench::usage` for the artifact list.
 
-use inca_bench::{list_text, run_ids, usage, SERVE_ID};
+use inca_bench::{list_text, run_ids_full, usage, SERVE_ID};
 use inca_core::ExperimentOpts;
 use std::process::ExitCode;
 
 /// Where the serving sweep's machine-readable report lands (repo root,
 /// next to the other `*_report.json` artifacts).
 const SERVE_REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../SERVE_report.json");
+
+/// Where the observability run's Chrome trace lands.
+const OBS_TRACE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../OBS_trace.json");
+
+/// Where the observability run's time-series artifact lands.
+const OBS_TIMESERIES_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../OBS_timeseries.json");
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,7 +49,7 @@ fn main() -> ExitCode {
     }
 
     let opts = ExperimentOpts { quick };
-    let results = match run_ids(ids.iter().copied(), &opts) {
+    let output = match run_ids_full(ids.iter().copied(), &opts) {
         Ok(r) => r,
         Err(bad) => {
             eprintln!("unknown experiment id: {bad}\n");
@@ -51,6 +57,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let results = output.results;
 
     for r in &results {
         println!("=== {} — {}", r.id, r.title);
@@ -72,6 +79,20 @@ fn main() -> ExitCode {
                 eprintln!("serve report serialization failed: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+
+    // The observability run lands as two standalone artifacts — both
+    // byte-reproducible across same-seed runs.
+    if let Some(artifacts) = &output.obs {
+        for (path, payload) in
+            [(OBS_TRACE_PATH, &artifacts.trace_json), (OBS_TIMESERIES_PATH, &artifacts.timeseries_json)]
+        {
+            if let Err(e) = std::fs::write(path, payload) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
         }
     }
 

@@ -17,7 +17,10 @@
 #![warn(missing_docs)]
 
 use inca_core::{Experiment, ExperimentOpts, ExperimentResult};
-use inca_serve::{run_sweep, SweepConfig};
+use inca_serve::{
+    ns_to_ms, run_point_observed, run_sweep, ArrivalKind, BackendKind, ObsConfig, ServeConfig, SweepConfig,
+};
+use serde_json::json;
 
 /// Identifier of the serving sweep. It is not a paper artifact, so it
 /// lives beside the `Experiment` registry rather than in it (keeping
@@ -27,6 +30,12 @@ pub const SERVE_ID: &str = "serve";
 /// Title of the serving sweep, for listings.
 pub const SERVE_TITLE: &str =
     "Serving: p99 latency vs offered load, INCA vs WS vs GPU fleets (writes SERVE_report.json)";
+
+/// Identifier of the observability run.
+pub const OBS_ID: &str = "obs";
+
+/// Title of the observability run, for listings.
+pub const OBS_TITLE: &str = "Observability: traced bursty INCA serving run with time-series sampling and SLO burn-rate monitoring (writes OBS_trace.json + OBS_timeseries.json)";
 
 /// Runs the serving sweep: a Poisson request stream over multi-chip
 /// fleets of all three backends, reported as the latency-vs-load table
@@ -43,6 +52,101 @@ pub fn serve_experiment(opts: &ExperimentOpts) -> ExperimentResult {
     }
 }
 
+/// The two observability artifacts of one traced serving run, ready to
+/// land as `OBS_trace.json` and `OBS_timeseries.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsArtifacts {
+    /// Chrome trace-event JSON (`OBS_trace.json`).
+    pub trace_json: String,
+    /// Columnar time-series + latency histogram + SLO verdicts
+    /// (`OBS_timeseries.json`).
+    pub timeseries_json: String,
+}
+
+/// The serving configuration the observability run traces: an INCA
+/// fleet under a bursty MMPP arrival process whose burst state sits far
+/// past capacity, so the run exercises every instrument — deep queues,
+/// shedding, reprogram churn, and SLO burn.
+#[must_use]
+fn obs_config(opts: &ExperimentOpts) -> ServeConfig {
+    let mut cfg = ServeConfig::default_fleet(BackendKind::Inca, 0.0);
+    cfg.arrivals = ArrivalKind::Mmpp { rate_hi: 400_000.0, rate_lo: 200.0, mean_dwell_s: 0.05 };
+    cfg.queue_cap = 512;
+    cfg.seed = 0x0B5_CAFE;
+    cfg.requests = if opts.quick { 2500 } else { 10_000 };
+    cfg
+}
+
+/// Runs the observability experiment: one fully instrumented bursty
+/// serving run, summarized as a report plus the two `OBS_*` artifacts.
+#[must_use]
+pub fn obs_experiment(opts: &ExperimentOpts) -> (ExperimentResult, ObsArtifacts) {
+    let cfg = obs_config(opts);
+    let obs = ObsConfig::full();
+    let (run, out) = run_point_observed(&cfg, &obs);
+    let samples = out.timeseries.as_ref().map_or(0, inca_telemetry::TimeSeries::len);
+    let p50_ms = out.latency_hist.quantile(0.50).map(ns_to_ms);
+    let p99_ms = out.latency_hist.quantile(0.99).map(ns_to_ms);
+    let fmt_opt = |v: Option<f64>| v.map_or_else(|| "n/a".to_owned(), |x| format!("{x:.2}"));
+    let mut text = format!(
+        "bursty INCA run: {} completed, {} shed, {} switches over {:.2}s of virtual time\n\
+         p50 {} ms, p99 {} ms ({} samples in {} time-series rows)\n",
+        run.completed.len(),
+        run.shed,
+        run.switches,
+        run.makespan_ns as f64 / 1e9,
+        fmt_opt(p50_ms),
+        fmt_opt(p99_ms),
+        out.latency_hist.count(),
+        samples,
+    );
+    if out.violations.is_empty() {
+        text.push_str("SLO: no burn-rate violations\n");
+    } else {
+        text.push_str(&format!("SLO: {} burn-rate violation window(s)\n", out.violations.len()));
+        for v in &out.violations {
+            text.push_str(&format!(
+                "  [{:.3}s .. {:.3}s] peak burn {:.1}x, {} breaches\n",
+                v.start_ns as f64 / 1e9,
+                v.end_ns as f64 / 1e9,
+                v.peak_burn,
+                v.breaches
+            ));
+        }
+    }
+    let result = ExperimentResult {
+        id: OBS_ID.to_string(),
+        title: OBS_TITLE.to_string(),
+        text,
+        data: json!({
+            "completed": run.completed.len() as u64,
+            "shed": run.shed,
+            "switches": run.switches,
+            "makespan_ns": run.makespan_ns,
+            "p50_ms": p50_ms,
+            "p99_ms": p99_ms,
+            "timeseries_rows": samples as u64,
+            "slo_violations": out.violations.len() as u64,
+        }),
+    };
+    let artifacts = ObsArtifacts {
+        trace_json: out.trace_json.clone().unwrap_or_default(),
+        timeseries_json: out.timeseries_json(),
+    };
+    (result, artifacts)
+}
+
+/// Everything one harness invocation produced: the experiment results in
+/// request order, plus the observability artifacts when the `obs` run
+/// was among them.
+#[derive(Debug)]
+pub struct RunOutput {
+    /// One result per requested experiment, in order.
+    pub results: Vec<ExperimentResult>,
+    /// `OBS_*` artifact payloads, when the `obs` experiment ran.
+    pub obs: Option<ObsArtifacts>,
+}
+
 /// Runs a list of experiment ids (or all of them for `"all"`), returning
 /// the results in order.
 ///
@@ -53,18 +157,39 @@ pub fn run_ids<'a>(
     ids: impl IntoIterator<Item = &'a str>,
     opts: &ExperimentOpts,
 ) -> Result<Vec<ExperimentResult>, String> {
-    let mut out = Vec::new();
+    run_ids_full(ids, opts).map(|out| out.results)
+}
+
+/// [`run_ids`], also surfacing the observability artifacts so the
+/// binary can write `OBS_trace.json` / `OBS_timeseries.json`.
+///
+/// # Errors
+///
+/// Returns the offending id when it is unknown.
+pub fn run_ids_full<'a>(
+    ids: impl IntoIterator<Item = &'a str>,
+    opts: &ExperimentOpts,
+) -> Result<RunOutput, String> {
+    let mut out = RunOutput { results: Vec::new(), obs: None };
+    let run_obs = |out: &mut RunOutput| {
+        let (result, artifacts) = obs_experiment(opts);
+        out.results.push(result);
+        out.obs = Some(artifacts);
+    };
     for id in ids {
         if id == "all" {
             for e in Experiment::all() {
-                out.push(e.run(opts));
+                out.results.push(e.run(opts));
             }
-            out.push(serve_experiment(opts));
+            out.results.push(serve_experiment(opts));
+            run_obs(&mut out);
         } else if id == SERVE_ID {
-            out.push(serve_experiment(opts));
+            out.results.push(serve_experiment(opts));
+        } else if id == OBS_ID {
+            run_obs(&mut out);
         } else {
             let e = Experiment::from_id(id).ok_or_else(|| id.to_string())?;
-            out.push(e.run(opts));
+            out.results.push(e.run(opts));
         }
     }
     Ok(out)
@@ -79,6 +204,7 @@ pub fn list_text() -> String {
         s.push_str(&format!("{:<22} {}\n", e.id(), e.title()));
     }
     s.push_str(&format!("{SERVE_ID:<22} {SERVE_TITLE}\n"));
+    s.push_str(&format!("{OBS_ID:<22} {OBS_TITLE}\n"));
     s
 }
 
@@ -125,8 +251,30 @@ mod tests {
     #[test]
     fn list_has_one_line_per_experiment() {
         let l = list_text();
-        assert_eq!(l.lines().count(), Experiment::all().len() + 1);
+        assert_eq!(l.lines().count(), Experiment::all().len() + 2);
         assert!(l.lines().all(|line| line.split_whitespace().count() >= 2));
+    }
+
+    #[test]
+    fn obs_runs_through_the_harness_with_artifacts() {
+        let out = run_ids_full([OBS_ID], &ExperimentOpts { quick: true }).unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].id, OBS_ID);
+        let artifacts = out.obs.expect("obs artifacts present");
+        assert!(artifacts.trace_json.contains("\"queue_wait\""));
+        assert!(artifacts.timeseries_json.contains("\"latency_hist_ns\""));
+        // The bursty overload profile must actually trip the monitor —
+        // an obs artifact with nothing to show would gate nothing in CI.
+        assert!(out.results[0].data["slo_violations"].as_u64().unwrap() > 0);
+        assert!(out.results[0].data["shed"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn obs_artifacts_are_byte_reproducible() {
+        let opts = ExperimentOpts { quick: true };
+        let (_, a) = obs_experiment(&opts);
+        let (_, b) = obs_experiment(&opts);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! End-to-end checks of the `obs_diff` regression gate: identical
+//! artifacts pass, injected p99 regressions fail, sub-threshold drift
+//! passes, and malformed input is a usage error (exit 2), not a pass.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_obs_diff"))
+}
+
+/// Writes `content` to a unique temp file and returns its path.
+fn temp_artifact(name: &str, content: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("obs_diff_test_{}_{name}", std::process::id()));
+    std::fs::write(&path, content).expect("write temp artifact");
+    path
+}
+
+/// A minimal but structurally faithful serve report.
+fn serve_report(p99_scale: f64, throughput_scale: f64) -> String {
+    format!(
+        r#"{{
+  "report": "inca-serve load sweep",
+  "backends": [
+    {{
+      "backend": "inca",
+      "sustainable_rps": 5000.0,
+      "points": [
+        {{"offered_rps": 100.0, "p99_ms": {:.4}, "throughput_rps": {:.4}, "energy_per_request_mj": 2.5}},
+        {{"offered_rps": 200.0, "p99_ms": {:.4}, "throughput_rps": {:.4}, "energy_per_request_mj": 2.4}},
+        {{"offered_rps": 400.0, "p99_ms": null, "throughput_rps": 0.0, "energy_per_request_mj": 0.0}}
+      ]
+    }}
+  ]
+}}"#,
+        350.0 * p99_scale,
+        99.0 * throughput_scale,
+        420.0 * p99_scale,
+        197.0 * throughput_scale,
+    )
+}
+
+#[test]
+fn identical_serve_reports_pass() {
+    let a = temp_artifact("ident_a.json", &serve_report(1.0, 1.0));
+    let b = temp_artifact("ident_b.json", &serve_report(1.0, 1.0));
+    let status = bin().arg(&a).arg(&b).status().unwrap();
+    assert_eq!(status.code(), Some(0), "identical artifacts must pass");
+}
+
+#[test]
+fn injected_p99_regression_fails() {
+    let a = temp_artifact("inj_a.json", &serve_report(1.0, 1.0));
+    let b = temp_artifact("inj_b.json", &serve_report(1.0, 1.0));
+    let status = bin().args(["--inject-p99", "1.15"]).arg(&a).arg(&b).status().unwrap();
+    assert_eq!(status.code(), Some(1), "a 15% injected p99 regression must fail at 10%");
+}
+
+#[test]
+fn real_p99_regression_fails_and_small_drift_passes() {
+    let base = temp_artifact("drift_base.json", &serve_report(1.0, 1.0));
+    let worse = temp_artifact("drift_worse.json", &serve_report(1.25, 1.0));
+    let status = bin().arg(&base).arg(&worse).status().unwrap();
+    assert_eq!(status.code(), Some(1), "a 25% p99 regression must fail");
+
+    let slight = temp_artifact("drift_slight.json", &serve_report(1.05, 1.0));
+    let status = bin().arg(&base).arg(&slight).status().unwrap();
+    assert_eq!(status.code(), Some(0), "5% drift is inside the default 10% threshold");
+
+    // The same drift fails under a tightened threshold.
+    let status = bin().args(["--threshold", "0.02"]).arg(&base).arg(&slight).status().unwrap();
+    assert_eq!(status.code(), Some(1), "5% drift must fail a 2% threshold");
+}
+
+#[test]
+fn throughput_collapse_fails() {
+    let base = temp_artifact("thru_base.json", &serve_report(1.0, 1.0));
+    let worse = temp_artifact("thru_worse.json", &serve_report(1.0, 0.5));
+    let status = bin().arg(&base).arg(&worse).status().unwrap();
+    assert_eq!(status.code(), Some(1), "halved throughput must fail");
+}
+
+#[test]
+fn vanished_percentile_is_a_regression() {
+    let base = temp_artifact("vanish_base.json", &serve_report(1.0, 1.0));
+    // Current run completes nothing at the first point: p99 null where
+    // the baseline had data.
+    let broken = serve_report(1.0, 1.0).replacen("\"p99_ms\": 350.0000", "\"p99_ms\": null", 1);
+    let cur = temp_artifact("vanish_cur.json", &broken);
+    let status = bin().arg(&base).arg(&cur).status().unwrap();
+    assert_eq!(status.code(), Some(1), "a vanished p99 must count as a regression");
+}
+
+#[test]
+fn bench_artifact_ratios_gate() {
+    let base = temp_artifact(
+        "bench_base.json",
+        r#"{"benchmark":"hw_exec","hw_conv":{"packed_over_scalar":4.8},"hw_batch_conv":{"packed_over_scalar":5.7,"parallel":{"skipped":"host_threads < 4"}},"telemetry":{"on_over_off":1.2}}"#,
+    );
+    let same = temp_artifact(
+        "bench_same.json",
+        r#"{"benchmark":"hw_exec","hw_conv":{"packed_over_scalar":4.9},"hw_batch_conv":{"packed_over_scalar":5.6,"parallel":{"skipped":"host_threads < 4"}},"telemetry":{"on_over_off":1.21}}"#,
+    );
+    let status = bin().arg(&base).arg(&same).status().unwrap();
+    assert_eq!(status.code(), Some(0), "noise-level drift must pass");
+
+    let worse = temp_artifact(
+        "bench_worse.json",
+        r#"{"benchmark":"hw_exec","hw_conv":{"packed_over_scalar":3.0},"hw_batch_conv":{"packed_over_scalar":5.7},"telemetry":{"on_over_off":1.2}}"#,
+    );
+    let status = bin().arg(&base).arg(&worse).status().unwrap();
+    assert_eq!(status.code(), Some(1), "a lost packed speedup must fail");
+}
+
+#[test]
+fn malformed_input_is_a_usage_error() {
+    let good = temp_artifact("mal_good.json", &serve_report(1.0, 1.0));
+    let bad = temp_artifact("mal_bad.json", "{not json");
+    let status = bin().arg(&good).arg(&bad).status().unwrap();
+    assert_eq!(status.code(), Some(2), "malformed JSON is exit 2");
+
+    let unknown = temp_artifact("mal_unknown.json", r#"{"something":"else"}"#);
+    let status = bin().arg(&unknown).arg(&good).status().unwrap();
+    assert_eq!(status.code(), Some(2), "unrecognized artifact kind is exit 2");
+
+    let status = bin().arg(&good).status().unwrap();
+    assert_eq!(status.code(), Some(2), "missing operand is exit 2");
+}
+
+#[test]
+fn gate_accepts_the_committed_artifacts_against_themselves() {
+    // The committed repo artifacts must both be recognized and
+    // self-compare clean — this is exactly what CI runs.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    for artifact in ["SERVE_report.json", "BENCH_hw_exec.json"] {
+        let path = format!("{root}/{artifact}");
+        let status = bin().arg(&path).arg(&path).status().unwrap();
+        assert_eq!(status.code(), Some(0), "{artifact} failed to self-compare");
+    }
+}

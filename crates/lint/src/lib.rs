@@ -1,6 +1,6 @@
 //! `inca-lint`: a self-contained static analyzer for the INCA workspace.
 //!
-//! Five rules guard the invariants the dimensional-correctness layer
+//! Six rules guard the invariants the dimensional-correctness layer
 //! introduced (see `DESIGN.md` §10):
 //!
 //! 1. **raw-unit** — public unit-suffixed API must use `inca-units`
@@ -15,6 +15,8 @@
 //! 5. **safety-comment** — every non-test `unsafe { … }` block must
 //!    carry a `// SAFETY:` comment on the same line or within the
 //!    three lines above it.
+//! 6. **event-coverage** — every telemetry `Event` variant must have
+//!    an owner line in the DESIGN.md map.
 //!
 //! The analyzer is dependency-free: a hand-rolled lexer (`lexer`), a
 //! rule engine over the token stream (`rules`) and a stable JSON
@@ -90,7 +92,7 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs all five rules over the workspace at `root`.
+/// Runs all six rules over the workspace at `root`.
 ///
 /// `owners` is `None` when no ownership map is available (the
 /// telemetry-ownership rule is then skipped).
@@ -114,6 +116,9 @@ pub fn run(root: &Path, owners: Option<&OwnershipMap>) -> Result<LintRun, String
         rules::check_safety_comment(&file, &mut findings);
         if let Some(map) = owners {
             rules::check_telemetry_ownership(&file, map, &mut findings);
+            if file.crate_name == "telemetry" && file.file_name == "event.rs" {
+                rules::check_event_coverage(&file, map, &mut findings);
+            }
         }
     }
     findings.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));

@@ -7,8 +7,8 @@
 use crate::rules::Finding;
 
 /// The rules in report order.
-pub const RULES: [&str; 5] =
-    ["raw-unit", "determinism", "panic-path", "telemetry-ownership", "safety-comment"];
+pub const RULES: [&str; 6] =
+    ["raw-unit", "determinism", "panic-path", "telemetry-ownership", "safety-comment", "event-coverage"];
 
 /// Escapes a string for inclusion in a JSON document.
 fn esc(s: &str) -> String {
@@ -93,7 +93,7 @@ mod tests {
         let json = render(&findings, 1);
         assert!(json.contains("\"rule\": \"panic-path\", \"violations\": 1, \"waived\": 1"));
         assert!(json.contains("\"files_scanned\": 1"));
-        // All five rules present even when empty.
+        // All rules present even when empty.
         for rule in RULES {
             assert!(json.contains(&format!("\"rule\": \"{rule}\"")), "{rule}");
         }

@@ -1,4 +1,4 @@
-//! The five lint rules.
+//! The six lint rules.
 //!
 //! * `raw-unit` (L1) — public items whose names carry a unit suffix
 //!   (`_j`, `_s`, `_pj`, `_mm2`, `_hz`) must be typed with an
@@ -14,6 +14,9 @@
 //! * `safety-comment` (L5) — every non-test `unsafe { … }` block (the
 //!   `std::arch` SIMD kernels) must carry a `// SAFETY:` comment on the
 //!   same line or within the three lines above it.
+//! * `event-coverage` (L6) — every variant of the telemetry `Event`
+//!   enum must have an owner line in the DESIGN.md map; a new event
+//!   without one would dodge L4 entirely.
 //!
 //! Every rule is waivable per line with `// lint: allow(rule-name)` —
 //! on the offending line or the line directly above. Waived findings
@@ -473,6 +476,69 @@ pub fn check_safety_comment(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
+/// Extracts the variant names (and lines) of `enum Event` from a lexed
+/// source file. Returns an empty list when the file holds no such enum.
+///
+/// The taxonomy is a C-like enum (counter identity, no payload), so a
+/// variant is exactly an ident at brace depth 1 followed by `,` or the
+/// closing `}`.
+#[must_use]
+pub fn event_variants(file: &SourceFile) -> Vec<(String, u32)> {
+    let toks = file.tokens();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].ident() == Some("enum") && toks.get(i + 1).and_then(Token::ident) == Some("Event") {
+            break;
+        }
+        i += 1;
+    }
+    while i < toks.len() && !toks[i].is_punct('{') {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    let mut out = Vec::new();
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1 {
+            if let Some(name) = t.ident() {
+                if toks.get(i + 1).is_some_and(|n| n.is_punct(',') || n.is_punct('}')) {
+                    out.push((name.to_string(), t.line));
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// L6: every `Event` variant must have an owner in the DESIGN.md map.
+///
+/// Runs only over the telemetry crate's `event.rs` (the single source
+/// of the taxonomy). Without this check, adding a variant and recording
+/// it from anywhere would pass L4 with the misleading "not in the map"
+/// message pointing at the call site instead of the definition.
+pub fn check_event_coverage(file: &SourceFile, owners: &OwnershipMap, out: &mut Vec<Finding>) {
+    for (variant, line) in event_variants(file) {
+        if !owners.contains_key(&variant) {
+            file.push(
+                out,
+                "event-coverage",
+                line,
+                format!(
+                    "`Event::{variant}` has no owner in the DESIGN.md telemetry-ownership map; add a `{variant}: <crates>` line under §10"
+                ),
+            );
+        }
+    }
+}
+
 /// Parses the ownership map from DESIGN.md: a fenced code block whose
 /// info string contains `lint:telemetry-ownership`, with one
 /// `Variant: crate1, crate2` line per event.
@@ -710,6 +776,50 @@ XbarReadPulse: xbar, core
         check_telemetry_ownership(&unknown, &owners, &mut out);
         assert_eq!(out.len(), 2);
         assert!(out[1].message.contains("not in the DESIGN.md ownership map"));
+    }
+
+    #[test]
+    fn event_coverage_flags_unmapped_variants() {
+        let src = "
+            pub enum Event {
+                XbarReadPulse,
+                ServeSloViolation,
+            }
+            impl Event {
+                pub const fn name(self) -> &'static str {
+                    match self {
+                        Event::XbarReadPulse => \"xbar_read_pulses\",
+                        Event::ServeSloViolation => \"serve_slo_violations\",
+                    }
+                }
+            }
+        ";
+        let f = SourceFile::new("crates/telemetry/src/event.rs", "telemetry", "event.rs", src);
+        assert_eq!(
+            event_variants(&f).iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            ["XbarReadPulse", "ServeSloViolation"],
+            "match arms must not parse as variants"
+        );
+        let owners = parse_ownership("```lint:telemetry-ownership\nXbarReadPulse: xbar\n```");
+        let mut out = Vec::new();
+        check_event_coverage(&f, &owners, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "event-coverage");
+        assert!(out[0].message.contains("ServeSloViolation"));
+    }
+
+    #[test]
+    fn event_coverage_is_silent_when_fully_mapped_or_absent() {
+        let src = "pub enum Event { A, B }";
+        let f = SourceFile::new("crates/telemetry/src/event.rs", "telemetry", "event.rs", src);
+        let owners = parse_ownership("```lint:telemetry-ownership\nA: sim\nB: serve\n```");
+        let mut out = Vec::new();
+        check_event_coverage(&f, &owners, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+        // A file without the enum yields nothing.
+        let g = SourceFile::new("crates/telemetry/src/lib.rs", "telemetry", "lib.rs", "fn x() {}");
+        check_event_coverage(&g, &owners, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     #[test]

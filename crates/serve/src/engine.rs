@@ -13,6 +13,7 @@ use inca_units::Energy;
 use crate::backend::{BackendKind, CostCache};
 use crate::chip::{BatchPolicy, Chip, DispatchPolicy, Request};
 use crate::event::{EventQueue, SimTime};
+use crate::obs::{ObsConfig, ObsOutput, ObsRecorder};
 use crate::source::{ArrivalKind, ModelMix, RequestSource};
 
 /// Configuration of one serving run (one offered-load point).
@@ -178,10 +179,41 @@ pub fn run_point(config: &ServeConfig) -> RunResult {
     run_point_with_costs(config, &mut costs)
 }
 
+/// [`run_point`] with the observability layer attached: tracing, the
+/// periodic sampler, and SLO burn-rate monitoring per `obs_cfg`.
+///
+/// The recorder only *observes* the run — the returned [`RunResult`] is
+/// bit-for-bit the one an unobserved [`run_point`] produces.
+///
+/// # Panics
+///
+/// Panics on configuration errors (zero chips, empty mix).
+#[must_use]
+pub fn run_point_observed(config: &ServeConfig, obs_cfg: &ObsConfig) -> (RunResult, ObsOutput) {
+    let _span = tel::span("serve.point");
+    assert!(config.chips >= 1, "need at least one chip");
+    let mut costs = CostCache::new(config.backend, &config.mix);
+    let mut rec = ObsRecorder::new(obs_cfg, config.chips, &config.mix);
+    let (result, chips) = run_point_inner(config, &mut costs, Some(&mut rec));
+    let out = rec.finish(result.makespan_ns, &chips);
+    (result, out)
+}
+
 /// [`run_point`] reusing a warm cost cache (the sweep driver shares one
 /// cache per backend so (model, batch) costs are priced once).
 #[must_use]
 pub fn run_point_with_costs(config: &ServeConfig, costs: &mut CostCache) -> RunResult {
+    run_point_inner(config, costs, None).0
+}
+
+/// The engine loop proper; the recorder, when present, is fed pure
+/// observations and cannot alter scheduling. Returns the final chip
+/// states alongside the result so observers can flush trailing samples.
+fn run_point_inner(
+    config: &ServeConfig,
+    costs: &mut CostCache,
+    mut obs: Option<&mut ObsRecorder>,
+) -> (RunResult, Vec<Chip>) {
     let max_batch = config.effective_max_batch();
     let mut source = RequestSource::new(config.arrivals, config.mix.clone(), config.seed, config.requests);
     let mut queue: EventQueue<Ev> = EventQueue::new();
@@ -209,6 +241,9 @@ pub fn run_point_with_costs(config: &ServeConfig, costs: &mut CostCache) -> RunR
     }
 
     while let Some((now, ev)) = queue.pop() {
+        if let Some(rec) = obs.as_deref_mut() {
+            rec.advance(now, &chips);
+        }
         match ev {
             Ev::Arrival(req) => {
                 // Chain the next arrival before anything else so source
@@ -224,9 +259,15 @@ pub fn run_point_with_costs(config: &ServeConfig, costs: &mut CostCache) -> RunR
                 if chips[c].queued >= config.queue_cap {
                     result.shed += 1;
                     tel::incr(tel::Event::ServeRequestShed);
+                    if let Some(rec) = obs.as_deref_mut() {
+                        rec.on_shed(&req);
+                    }
                     continue;
                 }
                 tel::incr(tel::Event::ServeRequestAdmitted);
+                if let Some(rec) = obs.as_deref_mut() {
+                    rec.on_admit(&req, c);
+                }
                 chips[c].admit(req);
                 result.max_queue_depth = result.max_queue_depth.max(chips[c].queued);
                 if !chips[c].busy() {
@@ -240,6 +281,7 @@ pub fn run_point_with_costs(config: &ServeConfig, costs: &mut CostCache) -> RunR
                             costs,
                             &mut queue,
                             &mut result,
+                            obs.as_deref_mut(),
                         );
                     } else {
                         // Hold the batch open; fire a timeout at this
@@ -265,7 +307,17 @@ pub fn run_point_with_costs(config: &ServeConfig, costs: &mut CostCache) -> RunR
                     if now.saturating_sub(head) >= config.batch.max_wait_ns
                         || chips[chip].depth(m) >= max_batch
                     {
-                        launch(&mut chips[chip], chip, m, now, max_batch, costs, &mut queue, &mut result);
+                        launch(
+                            &mut chips[chip],
+                            chip,
+                            m,
+                            now,
+                            max_batch,
+                            costs,
+                            &mut queue,
+                            &mut result,
+                            obs.as_deref_mut(),
+                        );
                     } else if let Some(deadline) = chips[chip].earliest_deadline(config.batch.max_wait_ns) {
                         queue.schedule(deadline.max(now), Ev::BatchTimeout { chip });
                     }
@@ -273,6 +325,9 @@ pub fn run_point_with_costs(config: &ServeConfig, costs: &mut CostCache) -> RunR
             }
             Ev::BatchDone { chip, batch, service_ns } => {
                 chips[chip].complete();
+                if let Some(rec) = obs.as_deref_mut() {
+                    rec.on_batch_done(chip, &batch, now);
+                }
                 let size = batch.len();
                 for req in batch {
                     result.completed.push(CompletedRequest {
@@ -288,7 +343,17 @@ pub fn run_point_with_costs(config: &ServeConfig, costs: &mut CostCache) -> RunR
                 // Work-conserving: a freed chip with pending work starts
                 // the longest-waiting model immediately.
                 if let Some(m) = chips[chip].oldest_model() {
-                    launch(&mut chips[chip], chip, m, now, max_batch, costs, &mut queue, &mut result);
+                    launch(
+                        &mut chips[chip],
+                        chip,
+                        m,
+                        now,
+                        max_batch,
+                        costs,
+                        &mut queue,
+                        &mut result,
+                        obs.as_deref_mut(),
+                    );
                 }
             }
         }
@@ -296,11 +361,11 @@ pub fn run_point_with_costs(config: &ServeConfig, costs: &mut CostCache) -> RunR
 
     result.events = queue.processed();
     result.switches = chips.iter().map(|c| c.switches).sum();
-    result
+    (result, chips)
 }
 
 /// Forms a batch on `chip`, prices it, and schedules its completion.
-#[allow(clippy::too_many_arguments)] // internal plumbing of one call site pair
+#[allow(clippy::too_many_arguments)] // internal plumbing of one call site set
 fn launch(
     chip: &mut Chip,
     chip_idx: usize,
@@ -310,14 +375,31 @@ fn launch(
     costs: &mut CostCache,
     queue: &mut EventQueue<Ev>,
     result: &mut RunResult,
+    obs: Option<&mut ObsRecorder>,
 ) {
     let switching = chip.resident_model.is_some() && chip.resident_model != Some(model_idx);
+    let head_arrival_ns = chip.head_arrival(model_idx).unwrap_or(now);
     let batch = chip.launch(model_idx, max_batch);
     let cost = costs.cost(model_idx, batch.len());
-    let service_ns = cost.service_ns + if switching { costs.switch_penalty_ns(model_idx) } else { 0 };
+    let penalty_ns = if switching { costs.switch_penalty_ns(model_idx) } else { 0 };
+    let service_ns = cost.service_ns + penalty_ns;
     result.energy_j += cost.energy_j;
     result.batch_hist[batch.len()] += 1;
     tel::incr(tel::Event::ServeBatchLaunched);
+    if switching {
+        tel::incr(tel::Event::ServeReprogramSwitch);
+    }
+    if let Some(rec) = obs {
+        let launch = crate::obs::BatchLaunch {
+            chip: chip_idx,
+            model_idx,
+            batch: &batch,
+            head_arrival_ns,
+            penalty_ns,
+            service_ns,
+        };
+        rec.on_launch(&launch, now);
+    }
     queue.schedule(now + service_ns, Ev::BatchDone { chip: chip_idx, batch, service_ns });
 }
 

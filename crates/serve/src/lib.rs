@@ -31,6 +31,10 @@
 //! * [`run_point`] / [`run_sweep`] — one offered-load point, and the
 //!   full latency-vs-load sweep behind `experiments serve` /
 //!   `SERVE_report.json`.
+//! * [`ObsConfig`] / [`run_point_observed`] — the observability layer:
+//!   per-request Chrome tracing, a periodic virtual-time sampler, and
+//!   SLO burn-rate monitoring, all purely observational (an observed
+//!   run returns the identical [`RunResult`]) and byte-reproducible.
 //!
 //! # Examples
 //!
@@ -53,13 +57,17 @@ mod chip;
 mod engine;
 mod event;
 mod metrics;
+mod obs;
 mod source;
 mod sweep;
 
 pub use backend::{BackendKind, BatchCost, CostCache};
 pub use chip::{BatchPolicy, Chip, DispatchPolicy, Request};
-pub use engine::{run_point, run_point_with_costs, CompletedRequest, RunResult, ServeConfig};
+pub use engine::{
+    run_point, run_point_observed, run_point_with_costs, CompletedRequest, RunResult, ServeConfig,
+};
 pub use event::{ns_to_ms, ns_to_secs, secs_to_ns, EventQueue, SimTime};
 pub use metrics::{percentile_ns, PointSummary};
+pub use obs::{ObsConfig, ObsOutput, ObsRecorder, SloPolicy, SloViolation};
 pub use source::{ArrivalKind, ModelMix, RequestSource, Trace, TraceEntry};
 pub use sweep::{run_sweep, BackendSweep, ServeReport, SweepConfig};

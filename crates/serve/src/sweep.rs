@@ -98,7 +98,11 @@ impl BackendSweep {
     pub fn sustainable_rps(&self, bound_ms: f64) -> f64 {
         self.points
             .iter()
-            .filter(|p| p.offered_rps <= self.capacity_rps && p.p99_ms <= bound_ms && p.shed == 0)
+            .filter(|p| {
+                p.offered_rps <= self.capacity_rps
+                    && p.p99_ms.is_some_and(|p99| p99 <= bound_ms)
+                    && p.shed == 0
+            })
             .map(|p| p.offered_rps)
             .fold(0.0, f64::max)
     }
@@ -192,17 +196,20 @@ impl ServeReport {
                 s,
                 "   offered rps | done | shed | thruput |  p50 ms |  p95 ms |  p99 ms | batch | mJ/req"
             );
+            // A point where nothing completed has no percentiles; the
+            // table shows an explicit "n/a" rather than a fake zero.
+            let fmt_ms = |v: Option<f64>| v.map_or_else(|| format!("{:>7}", "n/a"), |x| format!("{x:>7.2}"));
             for p in &b.points {
                 let _ = writeln!(
                     s,
-                    "   {:>11.0} | {:>4} | {:>4} | {:>7.0} | {:>7.2} | {:>7.2} | {:>7.2} | {:>5.1} | {:>6.2}",
+                    "   {:>11.0} | {:>4} | {:>4} | {:>7.0} | {} | {} | {} | {:>5.1} | {:>6.2}",
                     p.offered_rps,
                     p.completed,
                     p.shed,
                     p.throughput_rps,
-                    p.p50_ms,
-                    p.p95_ms,
-                    p.p99_ms,
+                    fmt_ms(p.p50_ms),
+                    fmt_ms(p.p95_ms),
+                    fmt_ms(p.p99_ms),
                     p.mean_batch,
                     p.energy_per_request_mj
                 );
@@ -301,20 +308,16 @@ mod tests {
     fn p99_diverges_near_ws_saturation() {
         let r = run_sweep(&tiny());
         let ws = r.backends.iter().find(|b| b.backend == BackendKind::WsBaseline).unwrap();
-        let low = &ws.points[0];
+        let low = ws.points[0].p99_ms.unwrap();
         let knee = ws.points.iter().find(|p| p.offered_rps > 1.1 * ws.capacity_rps).unwrap();
-        assert!(
-            knee.p99_ms > 3.0 * low.p99_ms,
-            "no knee: p99 {} at low load vs {} past saturation",
-            low.p99_ms,
-            knee.p99_ms
-        );
+        let knee_p99 = knee.p99_ms.unwrap();
+        assert!(knee_p99 > 3.0 * low, "no knee: p99 {low} at low load vs {knee_p99} past saturation");
         // INCA is still flat at the load that saturates WS.
         let inca = r.backends.iter().find(|b| b.backend == BackendKind::Inca).unwrap();
         let inca_there = inca.points.iter().find(|p| p.offered_rps == knee.offered_rps).unwrap();
         assert!(
-            inca_there.p99_ms < ServeReport::P99_BOUND_MS,
-            "inca p99 {} at ws-saturating load",
+            inca_there.p99_ms.unwrap() < ServeReport::P99_BOUND_MS,
+            "inca p99 {:?} at ws-saturating load",
             inca_there.p99_ms
         );
     }

@@ -48,10 +48,16 @@ pub enum Event {
     ServeRequestShed,
     /// A dynamically formed batch launched onto a chip's stacked planes.
     ServeBatchLaunched,
+    /// A chip swapped resident model weights (RRAM reprogramming churn
+    /// on the serving path).
+    ServeReprogramSwitch,
+    /// The SLO burn-rate monitor opened a violation window (`inca-serve`
+    /// observability, DESIGN.md §11).
+    ServeSloViolation,
 }
 
 /// Number of distinct events (size of a counter block).
-pub const EVENT_COUNT: usize = 15;
+pub const EVENT_COUNT: usize = 17;
 
 /// All events, in counter-slot order.
 pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
@@ -70,6 +76,8 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::ServeRequestAdmitted,
     Event::ServeRequestShed,
     Event::ServeBatchLaunched,
+    Event::ServeReprogramSwitch,
+    Event::ServeSloViolation,
 ];
 
 impl Event {
@@ -98,6 +106,8 @@ impl Event {
             Event::ServeRequestAdmitted => "serve_requests_admitted",
             Event::ServeRequestShed => "serve_requests_shed",
             Event::ServeBatchLaunched => "serve_batches_launched",
+            Event::ServeReprogramSwitch => "serve_reprogram_switches",
+            Event::ServeSloViolation => "serve_slo_violations",
         }
     }
 }

@@ -22,6 +22,10 @@
 //!   captures with a [`Snapshot::diff`] delta API, JSON and aligned
 //!   plain-text rendering, and a Chrome trace-event file for
 //!   `chrome://tracing` / Perfetto.
+//! * **Observability primitives** ([`LogLinearHist`], [`TimeSeries`]) —
+//!   deterministic HDR-style latency histograms and columnar time-series
+//!   capture, the substrate under the serving layer's `OBS_*` artifacts
+//!   (DESIGN.md §11).
 //!
 //! The crate is deliberately **std-only**: every other crate in the
 //! workspace links it, and the count sites sit on hot paths.
@@ -51,14 +55,18 @@
 mod counters;
 mod event;
 mod export;
+mod hist;
 mod snapshot;
 mod span;
+mod timeseries;
 
 pub use counters::{enabled, incr, record, set_enabled, total};
 pub use event::{Event, ALL_EVENTS, EVENT_COUNT};
 pub use export::chrome_trace_json;
+pub use hist::{LogLinearHist, DEFAULT_SUB_BITS};
 pub use snapshot::{reset, Snapshot};
 pub use span::{span, SpanGuard, SpanStats, TraceEvent, TRACE_CAPACITY};
+pub use timeseries::TimeSeries;
 
 #[cfg(test)]
 pub(crate) mod test_support {

@@ -1,0 +1,175 @@
+//! Property tests on the log-linear histogram: quantile estimates stay
+//! within one bucket of the exact sorted-vec quantiles across
+//! adversarial distributions, and bucket counts are bit-reproducible
+//! across sharded (multi-threaded) recording at any thread count.
+
+use inca_telemetry::LogLinearHist;
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile over a sorted slice (the reference the
+/// histogram is allowed to overshoot by at most one bucket).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Deterministic LCG stream for building sample vectors in-body (the
+/// proptest shim draws scalars only).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0
+    }
+}
+
+/// Adversarial sample sets keyed by `kind`: uniform multi-octave noise,
+/// heavy ties around an octave boundary, exact power-of-two boundary
+/// values (where log-linear bucketing changes octave), and a tiny
+/// distribution dominated by one huge outlier.
+fn sample_set(kind: u8, len: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Lcg(seed | 1);
+    let mut v: Vec<u64> = match kind {
+        0 => (0..len).map(|_| rng.next() % 1_000_000_000_001).collect(),
+        1 => {
+            const TIES: [u64; 5] = [0, 1, 127, 128, 129];
+            (0..len).map(|_| TIES[(rng.next() % 5) as usize]).collect()
+        }
+        2 => (0..len).map(|_| 1u64 << (rng.next() % 40)).collect(),
+        _ => {
+            let mut small: Vec<u64> = (0..len).map(|_| rng.next() % 100).collect();
+            small.push(u64::MAX / 2);
+            small
+        }
+    };
+    debug_assert!(!v.is_empty());
+    v.shrink_to_fit();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The histogram quantile never undershoots the exact quantile and
+    /// lands in the same bucket (overshoot bounded by one bucket width).
+    #[test]
+    fn quantile_within_one_bucket_of_exact(
+        kind in 0u8..4,
+        len in 1usize..400,
+        seed in any::<u64>(),
+        sub_bits in 2u32..9,
+    ) {
+        let values = sample_set(kind, len, seed);
+        let mut h = LogLinearHist::new(sub_bits);
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &[0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q).expect("non-empty histogram");
+            prop_assert!(est >= exact, "q={q}: estimate {est} under exact {exact}");
+            let bucket_upper = h.bucket_upper(h.bucket_index(exact));
+            prop_assert!(
+                est <= bucket_upper,
+                "q={q}: estimate {est} beyond the bucket holding exact {exact} (upper {bucket_upper})"
+            );
+        }
+    }
+
+    /// Recording order is irrelevant: shuffled input produces identical
+    /// histogram state.
+    #[test]
+    fn order_invariant(
+        kind in 0u8..4,
+        len in 2usize..200,
+        seed in any::<u64>(),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let values = sample_set(kind, len, seed);
+        let mut forward = LogLinearHist::default_ns();
+        for &v in &values {
+            forward.record(v);
+        }
+        // Deterministic pseudo-shuffle driven by the second seed.
+        let mut shuffled = values.clone();
+        let mut rng = Lcg(shuffle_seed | 1);
+        for i in (1..shuffled.len()).rev() {
+            let j = (rng.next() % (i as u64 + 1)) as usize;
+            shuffled.swap(i, j);
+        }
+        let mut backward = LogLinearHist::default_ns();
+        for &v in &shuffled {
+            backward.record(v);
+        }
+        prop_assert_eq!(forward, backward);
+    }
+
+    /// Sharded recording merged back together is bit-identical to
+    /// single-threaded recording, for every worker count.
+    #[test]
+    fn merge_reproducible_across_thread_counts(
+        kind in 0u8..4,
+        len in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let values = sample_set(kind, len, seed);
+        let mut reference = LogLinearHist::default_ns();
+        for &v in &values {
+            reference.record(v);
+        }
+        for workers in [1usize, 2, 3, 4, 8] {
+            let chunk = values.len().div_ceil(workers);
+            let shards: Vec<LogLinearHist> = std::thread::scope(|scope| {
+                let handles: Vec<_> = values
+                    .chunks(chunk)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            let mut h = LogLinearHist::default_ns();
+                            for &v in part {
+                                h.record(v);
+                            }
+                            h
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard thread")).collect()
+            });
+            let mut merged = LogLinearHist::default_ns();
+            for shard in &shards {
+                merged.merge(shard);
+            }
+            prop_assert_eq!(
+                &merged, &reference,
+                "sharded recording diverged at {} workers", workers
+            );
+        }
+    }
+}
+
+/// The quantile error bound claimed by `max_relative_error` holds on a
+/// dense geometric ladder.
+#[test]
+fn relative_error_bound_holds() {
+    let mut h = LogLinearHist::default_ns();
+    let mut v = 1u64;
+    let mut values = Vec::new();
+    while v < 1u64 << 50 {
+        h.record(v);
+        values.push(v);
+        v = v * 21 / 16 + 1;
+    }
+    values.sort_unstable();
+    for i in 1..=100 {
+        let q = f64::from(i) / 100.0;
+        let exact = exact_quantile(&values, q);
+        let est = h.quantile(q).unwrap();
+        assert!(est >= exact);
+        assert!(
+            est as f64 <= exact as f64 * (1.0 + h.max_relative_error()) + 1.0,
+            "q={q}: {est} vs exact {exact}"
+        );
+    }
+}

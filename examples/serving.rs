@@ -19,9 +19,16 @@ fn main() {
         cfg.requests = 2000;
         let run = run_point(&cfg);
         let p = PointSummary::from_run(rate, &run);
+        // Percentiles are None only when nothing completed; at this load
+        // every request finishes.
+        let fmt_ms = |v: Option<f64>| v.map_or_else(|| "n/a".into(), |x| format!("{x:.0}"));
         println!(
-            "{backend:<5} @ {rate:.0} rps: p50 {:.0} ms, p99 {:.0} ms, mean batch {:.1}, {:.1} mJ/request, shed {}",
-            p.p50_ms, p.p99_ms, p.mean_batch, p.energy_per_request_mj, p.shed
+            "{backend:<5} @ {rate:.0} rps: p50 {} ms, p99 {} ms, mean batch {:.1}, {:.1} mJ/request, shed {}",
+            fmt_ms(p.p50_ms),
+            fmt_ms(p.p99_ms),
+            p.mean_batch,
+            p.energy_per_request_mj,
+            p.shed
         );
     }
     println!(
