@@ -27,7 +27,9 @@ use std::time::Instant;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use inca_core::{ExecPolicy, HwBatchConv, HwConv, ReadPath};
+use inca_events::HeapEventQueue;
 use inca_nn::Tensor;
+use inca_serve::{run_sweep, EventQueue, SweepConfig};
 use rand::{Rng, SeedableRng};
 use serde_json::json;
 
@@ -46,6 +48,28 @@ fn mean_ns<O, F: FnMut() -> O>(mut f: F, iters: u32) -> f64 {
         black_box(f());
     }
     t0.elapsed().as_secs_f64() * 1e9 / f64::from(iters)
+}
+
+/// Events/second of interleaved schedule/pop churn — the serving hot
+/// loop. A macro rather than a function so the retired binary heap stays
+/// measurable next to the calendar queue without a shared trait.
+macro_rules! churn_events_per_s {
+    ($Q:ty) => {{
+        let t0 = Instant::now();
+        let mut processed = 0u64;
+        for _ in 0..64 {
+            let mut q: $Q = <$Q>::new();
+            for i in 0..4096u64 {
+                q.schedule(q.now() + 1 + (i * 2_654_435_761) % 1000, i);
+                if i % 2 == 0 {
+                    black_box(q.pop());
+                }
+            }
+            while q.pop().is_some() {}
+            processed += q.processed();
+        }
+        processed as f64 / t0.elapsed().as_secs_f64()
+    }};
 }
 
 fn hw_exec_benches(c: &mut Criterion) {
@@ -133,6 +157,38 @@ fn hw_exec_benches(c: &mut Criterion) {
         }),
     };
 
+    // Serving engine: the calendar queue vs the binary heap it replaced
+    // on the identical churn pattern, plus the load sweep sequential vs
+    // fanned across 4 workers — measured only on hosts that can truly
+    // run them (same refusal rule as the conv engines above).
+    let queue_events_per_s = churn_events_per_s!(EventQueue<u64>);
+    let queue_heap_events_per_s = churn_events_per_s!(HeapEventQueue<u64>);
+    let sweep_cfg = SweepConfig { requests_per_point: 2500, workers: 1, ..SweepConfig::quick() };
+    let sweep_secs = |cfg: &SweepConfig| {
+        let t0 = Instant::now();
+        black_box(run_sweep(cfg));
+        t0.elapsed().as_secs_f64()
+    };
+    let sweep_seq_s = sweep_secs(&sweep_cfg);
+    let sweep_par_s = measure_parallel.then(|| sweep_secs(&SweepConfig { workers: 4, ..sweep_cfg.clone() }));
+    let serve_section = match sweep_par_s {
+        Some(par_s) => json!({
+            "event_queue_events_per_s": queue_events_per_s,
+            "event_queue_heap_events_per_s": queue_heap_events_per_s,
+            "calendar_over_heap": queue_events_per_s / queue_heap_events_per_s,
+            "sweep_seq_s": sweep_seq_s,
+            "sweep_par_s": par_s,
+            "sweep_parallel_speedup": sweep_seq_s / par_s,
+        }),
+        None => json!({
+            "event_queue_events_per_s": queue_events_per_s,
+            "event_queue_heap_events_per_s": queue_heap_events_per_s,
+            "calendar_over_heap": queue_events_per_s / queue_heap_events_per_s,
+            "sweep_seq_s": sweep_seq_s,
+            "parallel": json!({ "skipped": "host_threads < 4" }),
+        }),
+    };
+
     let artifact = json!({
         "benchmark": "hw_exec",
         "host_threads": host_threads,
@@ -151,7 +207,8 @@ fn hw_exec_benches(c: &mut Criterion) {
             "conv_seq_cached_off_ns": telemetry_off_ns,
             "conv_seq_cached_on_ns": telemetry_on_ns,
             "on_over_off": telemetry_on_ns / telemetry_off_ns
-        })
+        }),
+        "serve": serve_section
     });
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hw_exec.json");
     std::fs::write(path, serde_json::to_string_pretty(&artifact).unwrap()).unwrap();
@@ -178,6 +235,21 @@ fn hw_exec_benches(c: &mut Criterion) {
         "telemetry: off {telemetry_off_ns:.0}ns on {telemetry_on_ns:.0}ns (x{:.3})",
         telemetry_on_ns / telemetry_off_ns
     );
+    eprintln!(
+        "serve queue: calendar {:.1}M events/s, heap {:.1}M events/s (x{:.2})",
+        queue_events_per_s / 1e6,
+        queue_heap_events_per_s / 1e6,
+        queue_events_per_s / queue_heap_events_per_s
+    );
+    match sweep_par_s {
+        Some(par_s) => eprintln!(
+            "serve sweep: seq {sweep_seq_s:.3}s, 4 workers {par_s:.3}s (x{:.2})",
+            sweep_seq_s / par_s
+        ),
+        None => eprintln!(
+            "serve sweep: seq {sweep_seq_s:.3}s, parallel SKIPPED (host_threads {host_threads} < 4)"
+        ),
+    }
 
     // Criterion's own measurement pass over the same modes.
     let mut group = c.benchmark_group("hw_exec");

@@ -1,8 +1,13 @@
 //! Criterion benches of the serving simulator: raw event-engine churn
-//! (the floor `perf_smoke` gates on) and end-to-end serving points.
+//! (the floor `perf_smoke` gates on, for both the calendar queue and the
+//! retired binary heap it replaced), end-to-end serving points, and the
+//! sequential-vs-fanned-out load sweep.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use inca_serve::{run_point_with_costs, BackendKind, CostCache, EventQueue, ServeConfig};
+use inca_events::HeapEventQueue;
+use inca_serve::{
+    run_point_with_costs, run_sweep, BackendKind, CostCache, EventQueue, ServeConfig, SweepConfig,
+};
 use std::hint::black_box;
 
 /// Schedule/pop churn through the future-event list: the hot loop every
@@ -28,6 +33,48 @@ fn event_engine(c: &mut Criterion) {
         });
     });
 
+    // The binary heap the calendar queue replaced, on the identical
+    // churn pattern — keeps the old-vs-new comparison reproducible.
+    group.bench_function("heap_event_queue_churn_4k", |b| {
+        b.iter(|| {
+            let mut q: HeapEventQueue<u64> = HeapEventQueue::new();
+            for i in 0..4096u64 {
+                q.schedule(q.now() + 1 + (i * 2_654_435_761) % 1000, i);
+                if i % 2 == 0 {
+                    black_box(q.pop());
+                }
+            }
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+            black_box(q.processed())
+        });
+    });
+
+    group.finish();
+}
+
+/// The whole load sweep, sequential vs fanned across 4 workers. The
+/// parallel case only runs on hosts that can execute 4 workers
+/// concurrently — a timesliced speedup is noise, not data.
+fn sweep_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve-sweep");
+    group.sample_size(10);
+
+    let cfg = SweepConfig { requests_per_point: 600, workers: 1, ..SweepConfig::quick() };
+    group.bench_function("sweep_sequential", |b| {
+        b.iter(|| black_box(run_sweep(&cfg)));
+    });
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    if host_threads >= 4 {
+        let par = SweepConfig { workers: 4, ..cfg.clone() };
+        group.bench_function("sweep_parallel_4", |b| {
+            b.iter(|| black_box(run_sweep(&par)));
+        });
+    } else {
+        eprintln!("serve_bench: SKIP sweep_parallel_4 — host_threads = {host_threads} < 4");
+    }
+
     group.finish();
 }
 
@@ -51,5 +98,5 @@ fn serve_points(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, event_engine, serve_points);
+criterion_group!(benches, event_engine, serve_points, sweep_fanout);
 criterion_main!(benches);

@@ -159,6 +159,16 @@ fn diff_bench(base: &Value, cur: &Value, gate: &mut Gate) {
         opt_f64(&cur["telemetry"]["on_over_off"]),
         Better::Lower,
     );
+    // Serve-engine keys (added with the calendar queue) gate only when
+    // both artifacts carry them, so pre-0.8 baselines keep working —
+    // and `sweep_parallel_speedup` is additionally absent on small
+    // hosts, which carry the explicit skip marker instead.
+    for key in ["event_queue_events_per_s", "calendar_over_heap", "sweep_parallel_speedup"] {
+        let (b, c) = (opt_f64(&base["serve"][key]), opt_f64(&cur["serve"][key]));
+        if b.is_some() && c.is_some() {
+            gate.check(&format!("serve.{key}"), b, c, Better::Higher);
+        }
+    }
 }
 
 fn load(path: &str) -> Result<Value, String> {

@@ -21,14 +21,21 @@
 //! never enter `SERVE_report.json`, which must stay byte-reproducible,
 //! so the perf gates live here instead):
 //!
-//! 4. the discrete-event engine sustains at least 1M events/second of
-//!    schedule/pop churn (release builds measure ~20M),
-//! 5. telemetry on vs off changes serving throughput by less than 1.5x.
+//! 4. the discrete-event engine sustains at least 5M events/second of
+//!    schedule/pop churn — the calendar-queue floor; the old binary heap
+//!    cleared 1M, the bucket queue measures well past 5M in release,
+//! 5. telemetry on vs off changes serving throughput by less than 1.5x,
+//! 6. on hosts with at least 4 threads, fanning the sweep's point grid
+//!    across 4 workers beats the sequential sweep by ≥ 2x wall-clock.
+//!    Smaller hosts get a loud SKIP — an oversubscribed speedup is
+//!    noise, not data (same refusal rule as gate 2).
 //!
 //! Exits non-zero with a diagnostic if any bound is violated, so a perf
 //! regression fails the pipeline instead of silently shipping.
 
-use inca_serve::{run_point_with_costs, BackendKind, CostCache, EventQueue, ServeConfig};
+use inca_serve::{
+    run_point_with_costs, run_sweep, BackendKind, CostCache, EventQueue, ServeConfig, SweepConfig,
+};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -49,6 +56,14 @@ fn event_engine_events_per_s() -> f64 {
         processed += q.processed();
     }
     processed as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Wall time of one full load sweep at the worker count in `cfg`.
+fn sweep_secs(cfg: &SweepConfig) -> f64 {
+    let start = Instant::now();
+    let report = run_sweep(cfg);
+    assert!(!report.backends.is_empty());
+    start.elapsed().as_secs_f64()
 }
 
 /// Wall time of one serving point with pre-warmed costs.
@@ -157,14 +172,46 @@ fn main() -> ExitCode {
         eprintln!("perf_smoke: ok telemetry on_over_off = {on_over_off:.3} (< 1.5)");
     }
     let events_per_s = event_engine_events_per_s();
-    if events_per_s < 1e6 {
+    if events_per_s < 5e6 {
         eprintln!(
-            "perf_smoke: FAIL event engine {events_per_s:.0} events/s < 1e6 — \
-             the future-event list lost its heap discipline"
+            "perf_smoke: FAIL event engine {events_per_s:.0} events/s < 5e6 — \
+             the calendar queue lost its O(1) bucket discipline"
         );
         failed = true;
     } else {
-        eprintln!("perf_smoke: ok event engine {:.1}M events/s (>= 1M)", events_per_s / 1e6);
+        eprintln!("perf_smoke: ok event engine {:.1}M events/s (>= 5M)", events_per_s / 1e6);
+    }
+
+    // Parallel-sweep gate: the point fan-out must buy real wall-clock.
+    // Measured in-process (wall times never enter SERVE_report.json,
+    // which stays byte-reproducible) and only on hosts that can really
+    // run 4 workers concurrently — never timesliced.
+    let live_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    if live_threads < 4 {
+        eprintln!(
+            "perf_smoke: SKIP parallel-sweep gate — host_threads = {live_threads} < 4; \
+             refusing to publish an oversubscribed speedup"
+        );
+    } else {
+        let mut sweep_cfg = SweepConfig { requests_per_point: 4000, ..SweepConfig::quick() };
+        sweep_cfg.workers = 1;
+        let seq = (0..2).map(|_| sweep_secs(&sweep_cfg)).fold(f64::INFINITY, f64::min);
+        sweep_cfg.workers = 4; // <= live_threads by the guard above
+        let par = (0..2).map(|_| sweep_secs(&sweep_cfg)).fold(f64::INFINITY, f64::min);
+        let speedup = seq / par;
+        if speedup < 2.0 {
+            eprintln!(
+                "perf_smoke: FAIL parallel sweep speedup = {speedup:.2} < 2.0 \
+                 (seq {seq:.3}s vs {par:.3}s on 4 workers) — \
+                 the point fan-out is not earning its threads"
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "perf_smoke: ok parallel sweep speedup = {speedup:.2} \
+                 (>= 2.0, 4 workers on {live_threads} host threads)"
+            );
+        }
     }
 
     // Serving telemetry overhead: median-of-3 wall times, costs warmed.

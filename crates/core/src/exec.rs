@@ -260,6 +260,41 @@ where
     .expect("hw-exec thread scope") // join only forwards worker panics. lint: allow(panic-path)
 }
 
+/// Maps `f(&mut state, index)` over `0..n` across the policy's worker
+/// pool and returns the results **in index order**, with `state` built
+/// once per worker by `init` — the infallible-mapping companion of
+/// [`for_each_chunk_with`] (chunk length 1, so workers own contiguous
+/// index blocks).
+///
+/// The reduction order is fixed by construction: each result lands in
+/// the slot its index owns, so the output is identical to a sequential
+/// map regardless of worker count or thread timing. This is what lets
+/// the serving sweep fan independent simulation points across the pool
+/// while keeping `SERVE_report.json` byte-identical.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the panic is resumed on the
+/// caller).
+pub fn par_map_indexed<R, S, I, F>(policy: ExecPolicy, n: usize, init: I, f: F) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(n, || None);
+    let filled = for_each_chunk_with(policy, &mut slots, 1, init, |state, idx, chunk| {
+        chunk[0] = Some(f(state, idx));
+        Ok(())
+    });
+    // `f` returns a plain value, so no chunk can ever report an error.
+    filled.expect("infallible map"); // lint: allow(panic-path)
+    let out: Vec<R> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(out.len(), n, "every index filled exactly once");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +436,32 @@ mod tests {
         });
         assert!(r.is_err());
         assert_eq!(calls.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn par_map_indexed_matches_sequential_for_any_worker_count() {
+        let seq = par_map_indexed(ExecPolicy::sequential(), 23, || (), |(), i| i * i);
+        assert_eq!(seq.len(), 23);
+        for workers in [2, 3, 7, 64] {
+            let par = par_map_indexed(ExecPolicy::parallel_with(workers), 23, || (), |(), i| i * i);
+            assert_eq!(seq, par, "workers {workers}");
+        }
+        // Degenerate sizes hold too.
+        assert!(par_map_indexed(ExecPolicy::parallel_with(4), 0, || (), |(), i| i).is_empty());
+        assert_eq!(par_map_indexed(ExecPolicy::parallel_with(4), 1, || (), |(), i| i), vec![0]);
+    }
+
+    #[test]
+    fn par_map_indexed_inits_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let out = par_map_indexed(
+            ExecPolicy::parallel_with(3),
+            9,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_state, i| i,
+        );
+        assert_eq!(out, (0..9).collect::<Vec<_>>());
+        assert_eq!(inits.load(Ordering::Relaxed), 3);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use accelerator::Accelerator;
 pub use accuracy::{noise_accuracy_row, quantization_accuracy, AccuracyConfig, NoiseAccuracyRow};
 pub use comparison::{Comparison, RunReport};
 pub use error::Error;
-pub use exec::{ExecPolicy, ReadPath, Schedule};
+pub use exec::{par_map_indexed, ExecPolicy, ReadPath, Schedule};
 pub use experiments::{Experiment, ExperimentOpts, ExperimentResult};
 pub use hw_batch::HwBatchConv;
 pub use hw_exec::{HwConv, HwLinear, HwWsConv, DATA_BITS, WEIGHT_BITS};

@@ -1,0 +1,56 @@
+//! Integer virtual time and unit conversions.
+//!
+//! Virtual time is a nanosecond count since simulation start — no
+//! wall-clock anywhere, so two runs with the same inputs replay the same
+//! event sequence bit-for-bit on any host.
+
+/// Virtual time in nanoseconds since simulation start.
+pub type SimTime = u64;
+
+/// Nanoseconds per second, as f64 for conversions.
+pub const NS_PER_SEC: f64 = 1e9;
+
+/// Converts seconds (cost-model output) to virtual nanoseconds, clamped
+/// to at least 1 ns so zero-cost services still advance time.
+#[must_use]
+pub fn secs_to_ns(s: f64) -> SimTime {
+    let ns = (s * NS_PER_SEC).round();
+    if ns < 1.0 {
+        1
+    } else if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns as u64
+    }
+}
+
+/// Converts virtual nanoseconds back to seconds.
+#[must_use]
+pub fn ns_to_secs(ns: SimTime) -> f64 {
+    ns as f64 / NS_PER_SEC
+}
+
+/// Converts virtual nanoseconds to milliseconds.
+#[must_use]
+pub fn ns_to_ms(ns: SimTime) -> f64 {
+    ns as f64 / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_ns_roundtrip() {
+        assert_eq!(secs_to_ns(1.5e-3), 1_500_000);
+        assert_eq!(secs_to_ns(0.0), 1);
+        assert!((ns_to_secs(2_000_000_000) - 2.0).abs() < 1e-12);
+        assert!((ns_to_ms(1_500_000) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturates_at_u64_max() {
+        assert_eq!(secs_to_ns(1e30), u64::MAX);
+        assert_eq!(secs_to_ns(-4.0), 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! The calendar queue's load-bearing property: its pop sequence is the
+//! exact `(time, seq)` total order of the reference binary heap, for any
+//! interleaving of schedules and pops — including tie-heavy timestamps,
+//! bursts far beyond the current calendar day, and full drains that force
+//! the calendar to re-anchor.
+
+use inca_events::{EventQueue, HeapEventQueue};
+use proptest::prelude::*;
+
+/// SplitMix64 — a self-contained deterministic stream per drawn seed.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random interleavings with a mix of time scales: `tie_mod` small
+    /// forces many identical timestamps (the tie-break path), large jumps
+    /// exercise the overflow heap and day re-anchoring.
+    #[test]
+    fn calendar_matches_heap(
+        seed in any::<u64>(),
+        tie_mod in 1u64..40,
+        horizon_shift in 0u32..45,
+        ops in 200usize..1200,
+    ) {
+        let mut rng = seed;
+        let mut cal = EventQueue::new();
+        let mut heap = HeapEventQueue::new();
+        for op in 0..ops as u64 {
+            let r = mix(&mut rng);
+            match r % 4 {
+                // Near-future, tie-heavy schedule.
+                0 | 1 => {
+                    let at = cal.now() + (r >> 8) % tie_mod;
+                    cal.schedule(at, op);
+                    heap.schedule(at, op);
+                }
+                // Occasional far-future burst past the calendar day.
+                2 => {
+                    let at = cal.now() + ((r >> 8) % tie_mod) + ((r >> 32) % (1u64 << horizon_shift));
+                    cal.schedule(at, op);
+                    heap.schedule(at, op);
+                }
+                // Pop (possibly draining the queue entirely).
+                _ => {
+                    prop_assert_eq!(cal.pop(), heap.pop());
+                    prop_assert_eq!(cal.now(), heap.now());
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(cal.processed(), heap.processed());
+    }
+
+    /// All events at one timestamp pop in exact schedule order — the
+    /// guarantee the serving engine's report stability rests on.
+    #[test]
+    fn pure_ties_pop_in_schedule_order(seed in any::<u64>(), n in 1usize..300) {
+        let mut rng = seed;
+        let t = mix(&mut rng) % (1 << 50);
+        let mut cal = EventQueue::new();
+        for i in 0..n as u64 {
+            cal.schedule(t, i);
+        }
+        for i in 0..n as u64 {
+            prop_assert_eq!(cal.pop(), Some((t, i)));
+        }
+        prop_assert!(cal.is_empty());
+    }
+}

@@ -11,14 +11,14 @@
 //!   image), so batching buys far less.
 //! * [`BackendKind::Gpu`] — the Table II Titan RTX roofline.
 //!
-//! Costs are memoized per (model, batch) — the discrete-event engine
-//! only ever pays a hash lookup on the hot path.
+//! Costs are memoized per (model, batch) in a dense table — the
+//! discrete-event engine only ever pays two array indexes on the hot
+//! path.
 
 use inca_arch::{ArchConfig, AreaModel};
 use inca_sim::{simulate_inference, GpuModel};
 use inca_units::{Area, Energy};
 use inca_workloads::ModelSpec;
-use std::collections::HashMap;
 
 use crate::event::{secs_to_ns, SimTime};
 use crate::source::ModelMix;
@@ -110,11 +110,17 @@ pub struct BatchCost {
 }
 
 /// Memoizing (model, batch) → cost table for one backend.
+///
+/// Batch sizes are small and dense (1..=the backend's plane count), so
+/// the memo is a per-model `Vec<Option<BatchCost>>` indexed by batch
+/// size: no hashing on the engine's hot path, and iteration order can
+/// never leak into results.
 pub struct CostCache {
     backend: BackendKind,
     specs: Vec<ModelSpec>,
     param_counts: Vec<u64>,
-    costs: HashMap<(usize, usize), BatchCost>,
+    /// `costs[model_idx][batch]`, `None` until first priced.
+    costs: Vec<Vec<Option<BatchCost>>>,
 }
 
 impl CostCache {
@@ -123,7 +129,8 @@ impl CostCache {
     pub fn new(backend: BackendKind, mix: &ModelMix) -> Self {
         let specs: Vec<ModelSpec> = mix.models.iter().map(|m| m.spec()).collect();
         let param_counts = specs.iter().map(ModelSpec::param_count).collect();
-        Self { backend, specs, param_counts, costs: HashMap::new() }
+        let costs = vec![vec![None; backend.max_batch() + 1]; specs.len()];
+        Self { backend, specs, param_counts, costs }
     }
 
     /// The backend this table prices.
@@ -140,7 +147,14 @@ impl CostCache {
     pub fn cost(&mut self, model_idx: usize, batch: usize) -> BatchCost {
         assert!(batch >= 1, "batch must be at least 1");
         let spec = &self.specs[model_idx];
-        *self.costs.entry((model_idx, batch)).or_insert_with(|| match self.backend {
+        let row = &mut self.costs[model_idx];
+        if batch >= row.len() {
+            row.resize(batch + 1, None);
+        }
+        if let Some(c) = row[batch] {
+            return c;
+        }
+        let c = match self.backend {
             BackendKind::Inca => analytical_cost(&ArchConfig::inca_paper(), spec, batch),
             BackendKind::WsBaseline => analytical_cost(&ArchConfig::baseline_paper(), spec, batch),
             BackendKind::Gpu => {
@@ -151,7 +165,9 @@ impl CostCache {
                     energy_j: Energy::from_joules(gpu.power_w * t.seconds()),
                 }
             }
-        })
+        };
+        row[batch] = Some(c);
+        c
     }
 
     /// Time to swap a chip from its resident model to `model_idx`

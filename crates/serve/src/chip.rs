@@ -128,12 +128,27 @@ impl Chip {
     /// Panics if the chip is already busy or the model FIFO is empty —
     /// both are engine logic errors, not runtime conditions.
     pub fn launch(&mut self, model_idx: usize, max_batch: usize) -> Vec<Request> {
+        let mut batch = Vec::new();
+        self.launch_into(model_idx, max_batch, &mut batch);
+        batch
+    }
+
+    /// [`Self::launch`] into a caller-owned buffer (cleared first), so
+    /// the engine can recycle batch allocations through its slab arena
+    /// instead of allocating a fresh `Vec` per launch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chip is already busy or the model FIFO is empty —
+    /// both are engine logic errors, not runtime conditions.
+    pub fn launch_into(&mut self, model_idx: usize, max_batch: usize, out: &mut Vec<Request>) {
         assert!(!self.busy(), "launch on a busy chip");
+        out.clear();
         let head = self.heads[model_idx];
         let fifo = &mut self.pending[model_idx];
         assert!(head < fifo.len(), "launch with an empty FIFO");
         let take = (fifo.len() - head).min(max_batch);
-        let batch: Vec<Request> = fifo[head..head + take].to_vec();
+        out.extend_from_slice(&fifo[head..head + take]);
         // Compact: drop the drained prefix so FIFOs never grow unbounded.
         fifo.drain(..head + take);
         self.heads[model_idx] = 0;
@@ -145,7 +160,6 @@ impl Chip {
             }
             self.resident_model = Some(model_idx);
         }
-        batch
     }
 
     /// Marks the in-flight batch complete, freeing the slot.

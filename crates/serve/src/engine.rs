@@ -7,6 +7,7 @@
 //! chip. The loop is single-threaded and fully deterministic: same
 //! config + seed → the same event sequence, counters and report bytes.
 
+use inca_events::{Slab, SlabKey};
 use inca_telemetry as tel;
 use inca_units::Energy;
 
@@ -162,8 +163,44 @@ enum Ev {
     Arrival(Request),
     /// An idle chip's batching window may have expired.
     BatchTimeout { chip: usize },
-    /// A chip finishes its in-flight batch.
-    BatchDone { chip: usize, batch: Vec<Request>, service_ns: SimTime },
+    /// A chip finishes its in-flight batch (members parked in the arena).
+    BatchDone { chip: usize, batch: SlabKey, service_ns: SimTime },
+}
+
+/// Recycled storage for in-flight batches: a generation-checked slab
+/// parks each launched batch under a copyable key (so `Ev::BatchDone`
+/// stays `Copy`-sized), and completed buffers return to a spare pool —
+/// steady-state serving launches allocate nothing.
+struct BatchArena {
+    in_flight: Slab<Vec<Request>>,
+    spare: Vec<Vec<Request>>,
+}
+
+impl BatchArena {
+    fn new() -> Self {
+        Self { in_flight: Slab::new(), spare: Vec::new() }
+    }
+
+    /// A cleared buffer, recycled when one is available.
+    fn buf(&mut self) -> Vec<Request> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Parks a launched batch, returning its key.
+    fn park(&mut self, batch: Vec<Request>) -> SlabKey {
+        self.in_flight.insert(batch)
+    }
+
+    /// Reclaims the batch behind `key` (`None` iff the key is stale).
+    fn reclaim(&mut self, key: SlabKey) -> Option<Vec<Request>> {
+        self.in_flight.remove(key)
+    }
+
+    /// Returns a completed buffer to the spare pool.
+    fn recycle(&mut self, mut batch: Vec<Request>) {
+        batch.clear();
+        self.spare.push(batch);
+    }
 }
 
 /// Runs one serving point to completion and returns the full result.
@@ -218,6 +255,7 @@ fn run_point_inner(
     let mut source = RequestSource::new(config.arrivals, config.mix.clone(), config.seed, config.requests);
     let mut queue: EventQueue<Ev> = EventQueue::new();
     let mut chips: Vec<Chip> = (0..config.chips).map(|_| Chip::new(config.mix.len())).collect();
+    let mut arena = BatchArena::new();
     let mut rr_cursor = 0usize;
     let mut next_id = 0u64;
 
@@ -279,6 +317,7 @@ fn run_point_inner(
                             now,
                             max_batch,
                             costs,
+                            &mut arena,
                             &mut queue,
                             &mut result,
                             obs.as_deref_mut(),
@@ -314,6 +353,7 @@ fn run_point_inner(
                             now,
                             max_batch,
                             costs,
+                            &mut arena,
                             &mut queue,
                             &mut result,
                             obs.as_deref_mut(),
@@ -323,13 +363,20 @@ fn run_point_inner(
                     }
                 }
             }
-            Ev::BatchDone { chip, batch, service_ns } => {
+            Ev::BatchDone { chip, batch: key, service_ns } => {
                 chips[chip].complete();
+                let Some(batch) = arena.reclaim(key) else {
+                    // Every launch parks exactly one batch and every
+                    // BatchDone fires exactly once, so a stale key is an
+                    // engine logic bug, not a runtime condition.
+                    debug_assert!(false, "BatchDone with a stale arena key");
+                    continue;
+                };
                 if let Some(rec) = obs.as_deref_mut() {
                     rec.on_batch_done(chip, &batch, now);
                 }
                 let size = batch.len();
-                for req in batch {
+                for &req in &batch {
                     result.completed.push(CompletedRequest {
                         id: req.id,
                         model_idx: req.model_idx,
@@ -339,6 +386,7 @@ fn run_point_inner(
                         service_ns,
                     });
                 }
+                arena.recycle(batch);
                 result.makespan_ns = result.makespan_ns.max(now);
                 // Work-conserving: a freed chip with pending work starts
                 // the longest-waiting model immediately.
@@ -350,6 +398,7 @@ fn run_point_inner(
                         now,
                         max_batch,
                         costs,
+                        &mut arena,
                         &mut queue,
                         &mut result,
                         obs.as_deref_mut(),
@@ -373,13 +422,15 @@ fn launch(
     now: SimTime,
     max_batch: usize,
     costs: &mut CostCache,
+    arena: &mut BatchArena,
     queue: &mut EventQueue<Ev>,
     result: &mut RunResult,
     obs: Option<&mut ObsRecorder>,
 ) {
     let switching = chip.resident_model.is_some() && chip.resident_model != Some(model_idx);
     let head_arrival_ns = chip.head_arrival(model_idx).unwrap_or(now);
-    let batch = chip.launch(model_idx, max_batch);
+    let mut batch = arena.buf();
+    chip.launch_into(model_idx, max_batch, &mut batch);
     let cost = costs.cost(model_idx, batch.len());
     let penalty_ns = if switching { costs.switch_penalty_ns(model_idx) } else { 0 };
     let service_ns = cost.service_ns + penalty_ns;
@@ -400,7 +451,8 @@ fn launch(
         };
         rec.on_launch(&launch, now);
     }
-    queue.schedule(now + service_ns, Ev::BatchDone { chip: chip_idx, batch, service_ns });
+    let key = arena.park(batch);
+    queue.schedule(now + service_ns, Ev::BatchDone { chip: chip_idx, batch: key, service_ns });
 }
 
 #[cfg(test)]

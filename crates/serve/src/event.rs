@@ -1,198 +1,23 @@
-//! Deterministic discrete-event core: a virtual-time clock and a
-//! binary-heap event queue.
+//! Deterministic discrete-event core, re-exported from [`inca_events`].
 //!
-//! Virtual time is an integer nanosecond count — no wall-clock anywhere,
-//! so two runs with the same inputs replay the same event sequence
-//! bit-for-bit. Ties in firing time are broken by schedule order (a
-//! monotonic sequence number), which keeps the pop order total and
-//! reproducible without requiring `Ord` on the event payload.
+//! The virtual-time clock, the calendar [`EventQueue`], and the unit
+//! conversions used to live here; they moved to the shared `inca-events`
+//! crate so the serving engine and `inca_sim::schedule` run on exactly
+//! one event-queue implementation. This module keeps the historical
+//! `inca_serve::event` paths working.
+//!
+//! # Examples
+//!
+//! ```
+//! use inca_serve::EventQueue;
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(20, "late");
+//! q.schedule(10, "early");
+//! assert_eq!(q.pop(), Some((10, "early")));
+//! assert_eq!(q.now(), 10);
+//! assert_eq!(q.pop(), Some((20, "late")));
+//! assert_eq!(q.pop(), None);
+//! ```
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-/// Virtual time in nanoseconds since simulation start.
-pub type SimTime = u64;
-
-/// Nanoseconds per second, as f64 for conversions.
-pub const NS_PER_SEC: f64 = 1e9;
-
-/// Converts seconds (cost-model output) to virtual nanoseconds, clamped
-/// to at least 1 ns so zero-cost services still advance time.
-#[must_use]
-pub fn secs_to_ns(s: f64) -> SimTime {
-    let ns = (s * NS_PER_SEC).round();
-    if ns < 1.0 {
-        1
-    } else if ns >= u64::MAX as f64 {
-        u64::MAX
-    } else {
-        ns as u64
-    }
-}
-
-/// Converts virtual nanoseconds back to seconds.
-#[must_use]
-pub fn ns_to_secs(ns: SimTime) -> f64 {
-    ns as f64 / NS_PER_SEC
-}
-
-/// Converts virtual nanoseconds to milliseconds.
-#[must_use]
-pub fn ns_to_ms(ns: SimTime) -> f64 {
-    ns as f64 / 1e6
-}
-
-/// One scheduled entry: fires at `time`, ties broken by `seq`.
-struct Scheduled<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    // Reversed so the std max-heap pops the earliest (time, seq) first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// A deterministic future-event list over payload type `E`.
-///
-/// # Examples
-///
-/// ```
-/// use inca_serve::EventQueue;
-///
-/// let mut q = EventQueue::new();
-/// q.schedule(20, "late");
-/// q.schedule(10, "early");
-/// assert_eq!(q.pop(), Some((10, "early")));
-/// assert_eq!(q.now(), 10);
-/// assert_eq!(q.pop(), Some((20, "late")));
-/// assert_eq!(q.pop(), None);
-/// ```
-pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
-    seq: u64,
-    now: SimTime,
-    processed: u64,
-}
-
-impl<E> Default for EventQueue<E> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl<E> EventQueue<E> {
-    /// An empty queue at virtual time zero.
-    #[must_use]
-    pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, now: 0, processed: 0 }
-    }
-
-    /// Current virtual time (the firing time of the last popped event).
-    #[must_use]
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// Schedules `event` to fire at absolute time `at`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `at` lies in the past — an event firing before the
-    /// clock would be time travel and break determinism downstream.
-    pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "event scheduled in the past: {at} < {}", self.now);
-        self.heap.push(Scheduled { time: at, seq: self.seq, event });
-        self.seq += 1;
-    }
-
-    /// Pops the earliest event, advancing the clock to its firing time.
-    pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
-        debug_assert!(s.time >= self.now);
-        self.now = s.time;
-        self.processed += 1;
-        Some((s.time, s.event))
-    }
-
-    /// Number of events waiting to fire.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.heap.len()
-    }
-
-    /// Whether no events are pending.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
-
-    /// Total events popped so far (the engine-throughput denominator).
-    #[must_use]
-    pub fn processed(&self) -> u64 {
-        self.processed
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(30, 3);
-        q.schedule(10, 1);
-        q.schedule(20, 2);
-        assert_eq!(q.pop(), Some((10, 1)));
-        assert_eq!(q.pop(), Some((20, 2)));
-        assert_eq!(q.pop(), Some((30, 3)));
-        assert!(q.is_empty());
-        assert_eq!(q.processed(), 3);
-    }
-
-    #[test]
-    fn ties_break_in_schedule_order() {
-        let mut q = EventQueue::new();
-        for i in 0..16 {
-            q.schedule(5, i);
-        }
-        for i in 0..16 {
-            assert_eq!(q.pop(), Some((5, i)));
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "scheduled in the past")]
-    fn rejects_past_events() {
-        let mut q = EventQueue::new();
-        q.schedule(10, ());
-        let _ = q.pop();
-        q.schedule(5, ());
-    }
-
-    #[test]
-    fn secs_ns_roundtrip() {
-        assert_eq!(secs_to_ns(1.5e-3), 1_500_000);
-        assert_eq!(secs_to_ns(0.0), 1);
-        assert!((ns_to_secs(2_000_000_000) - 2.0).abs() < 1e-12);
-        assert!((ns_to_ms(1_500_000) - 1.5).abs() < 1e-12);
-    }
-}
+pub use inca_events::{ns_to_ms, ns_to_secs, secs_to_ns, EventQueue, SimTime, NS_PER_SEC};

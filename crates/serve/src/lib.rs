@@ -14,9 +14,9 @@
 //!
 //! Pieces:
 //!
-//! * [`EventQueue`] — binary-heap future-event list over an integer
-//!   virtual-time clock; no wall-clock anywhere, ties broken by schedule
-//!   order, so runs are bit-reproducible.
+//! * [`EventQueue`] — the shared `inca-events` calendar future-event
+//!   list over an integer virtual-time clock; no wall-clock anywhere,
+//!   ties broken by schedule order, so runs are bit-reproducible.
 //! * [`RequestSource`] — Poisson and bursty (2-state MMPP) arrivals over
 //!   a weighted [`ModelMix`], plus replayable JSON [`Trace`]s.
 //! * [`Chip`] / [`BatchPolicy`] — per-chip dynamic batcher: accumulate

@@ -7,6 +7,7 @@
 //! 64 stacked planes make large batches nearly free — is still in its
 //! flat region at the same absolute load.
 
+use inca_core::exec::{par_map_indexed, ExecPolicy};
 use inca_telemetry as tel;
 use serde_json::{json, Value};
 use std::fmt::Write as _;
@@ -44,6 +45,13 @@ pub struct SweepConfig {
     pub inca_grid: Vec<f64>,
     /// Extra grid points as fractions of the GPU's capacity.
     pub gpu_grid: Vec<f64>,
+    /// Worker threads for the point fan-out: `0` sizes the pool to the
+    /// host, `1` forces the sequential path, larger counts are honored
+    /// verbatim. Purely an execution knob — every value produces
+    /// byte-identical reports (each point is an independent simulation
+    /// with its own derived seed, and results are collected by point
+    /// index), so it is deliberately *not* echoed into the report JSON.
+    pub workers: usize,
 }
 
 impl SweepConfig {
@@ -62,6 +70,7 @@ impl SweepConfig {
             ws_grid: vec![0.1, 0.3, 0.6, 0.9, 1.2],
             inca_grid: vec![0.5, 0.9, 1.1],
             gpu_grid: vec![0.9],
+            workers: 0,
         }
     }
 
@@ -246,12 +255,34 @@ pub fn run_sweep(cfg: &SweepConfig) -> ServeReport {
     }
     grid_rps.sort_by(f64::total_cmp);
 
-    let mut backends = Vec::new();
-    for (bi, &backend) in cfg.backends.iter().enumerate() {
-        let mut cache = CostCache::new(backend, &cfg.mix);
-        let capacity_rps = cache.capacity_rps(&cfg.mix, cfg.chips);
-        let mut points = Vec::new();
-        for (gi, &rate) in grid_rps.iter().enumerate() {
+    // Fan the (backend, rate) grid across the core worker pool. Every
+    // point is an independent simulation — its seed derives from
+    // (backend index, grid index) alone — so execution order is free;
+    // results land in slots keyed by flat point index `bi * |grid| + gi`,
+    // which reassembles below into exactly the sequential report order.
+    let n_grid = grid_rps.len();
+    let n_points = cfg.backends.len() * n_grid;
+    let pool = match cfg.workers {
+        0 => ExecPolicy::parallel(),
+        w => ExecPolicy::parallel_with(w),
+    };
+    let summaries = par_map_indexed(
+        pool,
+        n_points,
+        // Per-worker cost caches, one per backend, built on first use —
+        // the warm-cache sharing the sequential sweep enjoyed, without
+        // cross-worker locking. Cache warmth cannot leak into results:
+        // a (model, batch) price is the same whether memoized or fresh.
+        || {
+            let mut caches: Vec<Option<CostCache>> = Vec::new();
+            caches.resize_with(cfg.backends.len(), || None);
+            caches
+        },
+        |caches, p| {
+            let (bi, gi) = (p / n_grid, p % n_grid);
+            let backend = cfg.backends[bi];
+            let rate = grid_rps[gi];
+            let cache = caches[bi].get_or_insert_with(|| CostCache::new(backend, &cfg.mix));
             let point_cfg = ServeConfig {
                 backend,
                 chips: cfg.chips,
@@ -264,9 +295,17 @@ pub fn run_sweep(cfg: &SweepConfig) -> ServeReport {
                 seed: cfg.seed ^ ((bi as u64) << 32) ^ gi as u64,
                 requests: cfg.requests_per_point,
             };
-            let run = run_point_with_costs(&point_cfg, &mut cache);
-            points.push(PointSummary::from_run(rate, &run));
-        }
+            let run = run_point_with_costs(&point_cfg, cache);
+            PointSummary::from_run(rate, &run)
+        },
+    );
+
+    let mut backends = Vec::with_capacity(cfg.backends.len());
+    let mut summaries = summaries.into_iter();
+    for &backend in &cfg.backends {
+        let mut cache = CostCache::new(backend, &cfg.mix);
+        let capacity_rps = cache.capacity_rps(&cfg.mix, cfg.chips);
+        let points: Vec<PointSummary> = summaries.by_ref().take(n_grid).collect();
         backends.push(BackendSweep { backend, capacity_rps, area_mm2: backend.area_mm2(), points });
     }
 

@@ -2,7 +2,10 @@
 //! bit-exact reproducibility under a fixed seed, and causality of the
 //! reported latencies.
 
-use inca_serve::{run_point, run_sweep, ArrivalKind, BackendKind, DispatchPolicy, ServeConfig, SweepConfig};
+use inca_serve::{
+    run_point, run_sweep, ArrivalKind, BackendKind, DispatchPolicy, ModelMix, ServeConfig, SweepConfig,
+};
+use inca_workloads::Model;
 use proptest::prelude::*;
 
 fn small_config(seed: u64, rate: f64, policy_pick: u8, backend_pick: u8) -> ServeConfig {
@@ -69,6 +72,45 @@ proptest! {
         let a = run_point(&cfg);
         let b = run_point(&cfg);
         prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The sweep's worker count is an execution knob, not a semantic one:
+    /// any fan-out — including more workers than the sweep has points —
+    /// produces the byte-identical report of the sequential sweep.
+    #[test]
+    fn parallel_sweep_is_byte_identical(
+        seed in any::<u64>(),
+        reqs in 50u64..200,
+        workers in 2usize..9,
+        backend_pick in 0u8..3,
+    ) {
+        let backends = match backend_pick % 3 {
+            0 => vec![BackendKind::Inca],
+            1 => vec![BackendKind::WsBaseline, BackendKind::Gpu],
+            _ => BackendKind::all().to_vec(),
+        };
+        let mut cfg = SweepConfig {
+            backends,
+            requests_per_point: reqs,
+            mix: ModelMix::new(vec![Model::ResNet18, Model::MobileNetV2], vec![2.0, 1.0]),
+            seed,
+            ws_grid: vec![0.3, 1.0],
+            inca_grid: vec![0.8],
+            gpu_grid: vec![],
+            ..SweepConfig::quick()
+        };
+        cfg.workers = 1;
+        let sequential = run_sweep(&cfg).to_pretty_json();
+        cfg.workers = workers;
+        prop_assert_eq!(&run_sweep(&cfg).to_pretty_json(), &sequential);
+        // Worker count exceeding the sweep's total point count: the pool
+        // caps at one point per worker and the bytes still hold.
+        cfg.workers = 64;
+        prop_assert_eq!(&run_sweep(&cfg).to_pretty_json(), &sequential);
     }
 }
 

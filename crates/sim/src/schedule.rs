@@ -7,10 +7,8 @@
 //! them). This module is a discrete-event list scheduler quantifying that
 //! effect — the `ablation-chip-capacity` experiment.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use inca_arch::{mapping, ArchConfig, Dataflow};
+use inca_events::EventQueue;
 use inca_units::Time;
 use inca_workloads::ModelSpec;
 use serde::{Deserialize, Serialize};
@@ -68,8 +66,12 @@ pub fn schedule(jobs: &[LayerJob], capacity: u64) -> ScheduleResult {
 
     let mut now = 0.0f64;
     let mut free = capacity;
-    // Completion events: (finish time, units released).
-    let mut events: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new(); // time in ns for ordering
+    // Completion events on the shared calendar queue: fire time is the
+    // job's finish (integer ns for a total order), payload the units it
+    // releases. Same-instant completions release in admission order (the
+    // queue's seq tie-break); makespan and busy-area are tie-order
+    // independent, and all admissions still happen at the same instants.
+    let mut events: EventQueue<u64> = EventQueue::new();
     let to_ns = |s: f64| (s * 1e9).round() as u64;
     let mut busy_area = 0.0f64; // unit-seconds
     let mut peak = 0u64;
@@ -82,18 +84,18 @@ pub fn schedule(jobs: &[LayerJob], capacity: u64) -> ScheduleResult {
             free -= job.units;
             peak = peak.max(capacity - free);
             busy_area += job.units as f64 * job.duration_s.seconds();
-            events.push(Reverse((to_ns(now + job.duration_s.seconds()), job.units)));
+            events.schedule(to_ns(now + job.duration_s.seconds()), job.units);
         } else {
             // Advance time to the next completion. The queue head does not
             // fit, so some units are held — a completion event must exist.
-            let Reverse((t_ns, units)) = events.pop().expect("a running job must exist"); // lint: allow(panic-path)
+            let (t_ns, units) = events.pop().expect("a running job must exist"); // lint: allow(panic-path)
             now = t_ns as f64 / 1e9;
             free += units;
         }
     }
     // Drain remaining events.
     let mut makespan = now;
-    while let Some(Reverse((t_ns, _))) = events.pop() {
+    while let Some((t_ns, _)) = events.pop() {
         makespan = makespan.max(t_ns as f64 / 1e9);
     }
 
