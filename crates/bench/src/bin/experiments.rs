@@ -1,13 +1,16 @@
 //! Command-line experiment harness: regenerates every table and figure of
 //! the paper. See `inca_bench::usage` for the artifact list.
 
-use inca_bench::{list_text, run_ids_full, usage, SERVE_ID};
+use inca_bench::{list_text, run_ids_full, usage, NET_ID, SERVE_ID};
 use inca_core::ExperimentOpts;
 use std::process::ExitCode;
 
 /// Where the serving sweep's machine-readable report lands (repo root,
 /// next to the other `*_report.json` artifacts).
 const SERVE_REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../SERVE_report.json");
+
+/// Where the fleet-scale network sweep's report lands.
+const NET_REPORT_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../NET_report.json");
 
 /// Where the observability run's Chrome trace lands.
 const OBS_TRACE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../OBS_trace.json");
@@ -64,20 +67,22 @@ fn main() -> ExitCode {
         println!("{}", r.text);
     }
 
-    // The serving sweep additionally lands as a standalone artifact —
-    // byte-identical across same-seed runs.
-    if let Some(r) = results.iter().find(|r| r.id == SERVE_ID) {
-        match serde_json::to_string_pretty(&r.data) {
-            Ok(s) => {
-                if let Err(e) = std::fs::write(SERVE_REPORT_PATH, s + "\n") {
-                    eprintln!("failed to write {SERVE_REPORT_PATH}: {e}");
+    // The serving and fleet-network sweeps additionally land as
+    // standalone artifacts — byte-identical across same-seed runs.
+    for (id, path) in [(SERVE_ID, SERVE_REPORT_PATH), (NET_ID, NET_REPORT_PATH)] {
+        if let Some(r) = results.iter().find(|r| r.id == id) {
+            match serde_json::to_string_pretty(&r.data) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(path, s + "\n") {
+                        eprintln!("failed to write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {path}");
+                }
+                Err(e) => {
+                    eprintln!("{id} report serialization failed: {e}");
                     return ExitCode::FAILURE;
                 }
-                eprintln!("wrote {SERVE_REPORT_PATH}");
-            }
-            Err(e) => {
-                eprintln!("serve report serialization failed: {e}");
-                return ExitCode::FAILURE;
             }
         }
     }

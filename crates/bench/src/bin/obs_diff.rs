@@ -1,8 +1,13 @@
 //! `obs_diff` — artifact regression gate. Compares two runs of the same
-//! reproducible artifact (`SERVE_report.json` or `BENCH_hw_exec.json`)
-//! and exits non-zero when a headline metric regressed past a
-//! configurable threshold, so CI can hold the line against committed
-//! baselines instead of eyeballing diffs.
+//! reproducible artifact (`SERVE_report.json`, `NET_report.json`, or
+//! `BENCH_hw_exec.json`) and exits non-zero when a headline metric
+//! regressed past a configurable threshold, so CI can hold the line
+//! against committed baselines instead of eyeballing diffs.
+//!
+//! Serve and fleet (`NET`) reports share the sweep shape and gate the
+//! same way — per-backend sustainable load may not fall, per-point p99
+//! may not rise, throughput may not fall — with the fleet's
+//! `sustainable_rps_per_rack` headline gated on top.
 //!
 //! ```text
 //! obs_diff [--threshold F] [--inject-p99 FACTOR] BASELINE.json CURRENT.json
@@ -100,6 +105,14 @@ fn diff_serve(base: &Value, cur: &Value, gate: &mut Gate, inject_p99: f64) {
             &format!("{id}.sustainable_rps"),
             opt_f64(&bb["sustainable_rps"]),
             opt_f64(&cb["sustainable_rps"]),
+            Better::Higher,
+        );
+        // Fleet (NET) reports only: the rps-per-rack headline. Absent
+        // from serve reports, where the check is skipped.
+        gate.check(
+            &format!("{id}.sustainable_rps_per_rack"),
+            opt_f64(&bb["sustainable_rps_per_rack"]),
+            opt_f64(&cb["sustainable_rps_per_rack"]),
             Better::Higher,
         );
         let base_points = bb["points"].as_array().unwrap_or(&empty);

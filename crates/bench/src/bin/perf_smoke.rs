@@ -28,13 +28,17 @@
 //! 6. on hosts with at least 4 threads, fanning the sweep's point grid
 //!    across 4 workers beats the sequential sweep by ≥ 2x wall-clock.
 //!    Smaller hosts get a loud SKIP — an oversubscribed speedup is
-//!    noise, not data (same refusal rule as gate 2).
+//!    noise, not data (same refusal rule as gate 2),
+//! 7. the network-enabled fleet engine — compute events interleaved with
+//!    per-packet hop/ack events over the fat-tree fabric — sustains at
+//!    least 2M events/second end to end (cost-model warmup excluded).
 //!
 //! Exits non-zero with a diagnostic if any bound is violated, so a perf
 //! regression fails the pipeline instead of silently shipping.
 
 use inca_serve::{
-    run_point_with_costs, run_sweep, BackendKind, CostCache, EventQueue, ServeConfig, SweepConfig,
+    run_fleet_point_with_costs, run_point_with_costs, run_sweep, BackendKind, CostCache, EventQueue,
+    FleetConfig, ServeConfig, SweepConfig,
 };
 use std::process::ExitCode;
 use std::time::Instant;
@@ -64,6 +68,20 @@ fn sweep_secs(cfg: &SweepConfig) -> f64 {
     let report = run_sweep(cfg);
     assert!(!report.backends.is_empty());
     start.elapsed().as_secs_f64()
+}
+
+/// Events/second through the network-enabled fleet engine: one fleet
+/// point on the paper fat-tree, every request/response/weight transfer
+/// a packetized flow. The cost cache is warmed by the caller so only
+/// event processing is on the clock.
+fn fleet_engine_events_per_s(cache: &mut CostCache) -> f64 {
+    let mut cfg = FleetConfig::default_fleet(BackendKind::Inca, 40_000.0);
+    cfg.requests = 5000;
+    let start = Instant::now();
+    let run = run_fleet_point_with_costs(&cfg, cache);
+    let secs = start.elapsed().as_secs_f64();
+    assert!(!run.completed.is_empty());
+    run.events as f64 / secs
 }
 
 /// Wall time of one serving point with pre-warmed costs.
@@ -180,6 +198,27 @@ fn main() -> ExitCode {
         failed = true;
     } else {
         eprintln!("perf_smoke: ok event engine {:.1}M events/s (>= 5M)", events_per_s / 1e6);
+    }
+
+    // Fleet-network gate: splicing per-packet fabric events into the
+    // serving loop must not sink the engine below 2M events/s.
+    {
+        let cfg = FleetConfig::default_fleet(BackendKind::Inca, 40_000.0);
+        let mut cache = CostCache::new(cfg.backend, &cfg.mix);
+        let _warm = fleet_engine_events_per_s(&mut cache); // warm costs + touch memory
+        let fleet_events_per_s = (0..3).map(|_| fleet_engine_events_per_s(&mut cache)).fold(0.0, f64::max);
+        if fleet_events_per_s < 2e6 {
+            eprintln!(
+                "perf_smoke: FAIL fleet engine {fleet_events_per_s:.0} events/s < 2e6 — \
+                 the network event path is too heavy for the serving loop"
+            );
+            failed = true;
+        } else {
+            eprintln!(
+                "perf_smoke: ok fleet engine {:.1}M events/s (>= 2M, network enabled)",
+                fleet_events_per_s / 1e6
+            );
+        }
     }
 
     // Parallel-sweep gate: the point fan-out must buy real wall-clock.

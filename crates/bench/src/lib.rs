@@ -18,7 +18,8 @@
 
 use inca_core::{Experiment, ExperimentOpts, ExperimentResult};
 use inca_serve::{
-    ns_to_ms, run_point_observed, run_sweep, ArrivalKind, BackendKind, ObsConfig, ServeConfig, SweepConfig,
+    ns_to_ms, run_fleet_sweep, run_point_observed, run_sweep, ArrivalKind, BackendKind, FleetSweepConfig,
+    ObsConfig, ServeConfig, SweepConfig,
 };
 use serde_json::json;
 
@@ -30,6 +31,12 @@ pub const SERVE_ID: &str = "serve";
 /// Title of the serving sweep, for listings.
 pub const SERVE_TITLE: &str =
     "Serving: p99 latency vs offered load, INCA vs WS vs GPU fleets (writes SERVE_report.json)";
+
+/// Identifier of the fleet-scale network sweep.
+pub const NET_ID: &str = "net";
+
+/// Title of the fleet-scale network sweep, for listings.
+pub const NET_TITLE: &str = "Fleet: sustainable rps per rack under the p99 SLO, INCA vs WS on a fat-tree fabric with DCTCP flows (writes NET_report.json)";
 
 /// Identifier of the observability run.
 pub const OBS_ID: &str = "obs";
@@ -47,6 +54,22 @@ pub fn serve_experiment(opts: &ExperimentOpts) -> ExperimentResult {
     ExperimentResult {
         id: SERVE_ID.to_string(),
         title: SERVE_TITLE.to_string(),
+        text: report.text_table(),
+        data: report.to_json(),
+    }
+}
+
+/// Runs the fleet sweep: the serving traffic of [`serve_experiment`]
+/// pushed through the `inca-net` datacenter fabric — every dispatch,
+/// response, and weight transfer a DCTCP flow — reported as the
+/// sustainable-rps-per-rack table behind `NET_report.json`.
+#[must_use]
+pub fn net_experiment(opts: &ExperimentOpts) -> ExperimentResult {
+    let cfg = if opts.quick { FleetSweepConfig::quick() } else { FleetSweepConfig::full() };
+    let report = run_fleet_sweep(&cfg);
+    ExperimentResult {
+        id: NET_ID.to_string(),
+        title: NET_TITLE.to_string(),
         text: report.text_table(),
         data: report.to_json(),
     }
@@ -182,9 +205,12 @@ pub fn run_ids_full<'a>(
                 out.results.push(e.run(opts));
             }
             out.results.push(serve_experiment(opts));
+            out.results.push(net_experiment(opts));
             run_obs(&mut out);
         } else if id == SERVE_ID {
             out.results.push(serve_experiment(opts));
+        } else if id == NET_ID {
+            out.results.push(net_experiment(opts));
         } else if id == OBS_ID {
             run_obs(&mut out);
         } else {
@@ -204,6 +230,7 @@ pub fn list_text() -> String {
         s.push_str(&format!("{:<22} {}\n", e.id(), e.title()));
     }
     s.push_str(&format!("{SERVE_ID:<22} {SERVE_TITLE}\n"));
+    s.push_str(&format!("{NET_ID:<22} {NET_TITLE}\n"));
     s.push_str(&format!("{OBS_ID:<22} {OBS_TITLE}\n"));
     s
 }
@@ -246,12 +273,13 @@ mod tests {
             assert!(u.contains(e.id()), "{} missing from usage", e.id());
         }
         assert!(u.contains(SERVE_ID), "serve missing from usage");
+        assert!(u.contains(NET_TITLE), "net missing from usage");
     }
 
     #[test]
     fn list_has_one_line_per_experiment() {
         let l = list_text();
-        assert_eq!(l.lines().count(), Experiment::all().len() + 2);
+        assert_eq!(l.lines().count(), Experiment::all().len() + 3);
         assert!(l.lines().all(|line| line.split_whitespace().count() >= 2));
     }
 
@@ -284,5 +312,20 @@ mod tests {
         assert_eq!(r[0].id, SERVE_ID);
         assert!(r[0].text.contains("-- inca"));
         assert!(r[0].data["backends"].as_array().is_some_and(|b| b.len() == 3));
+    }
+
+    #[test]
+    fn net_runs_through_the_harness() {
+        let r = run_ids([NET_ID], &ExperimentOpts { quick: true }).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, NET_ID);
+        assert!(r[0].text.contains("-- inca"));
+        // The paper fleet: ≥128 chips behind the dispatchers on the
+        // fat-tree, INCA vs WS.
+        assert!(r[0].data["chips"].as_u64().is_some_and(|c| c >= 128));
+        assert!(r[0].data["backends"].as_array().is_some_and(|b| b.len() == 2));
+        // The headline must be present and INCA must beat WS per rack.
+        let per_rack = |i: usize| r[0].data["backends"][i]["sustainable_rps_per_rack"].as_f64().unwrap();
+        assert!(per_rack(0) > per_rack(1), "inca {} vs ws {}", per_rack(0), per_rack(1));
     }
 }

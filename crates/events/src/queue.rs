@@ -272,6 +272,27 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// Geometry and occupancy summary, without requiring `E: Debug` —
+/// payloads are engine-internal and often not printable, but the queue's
+/// shape (bucket count, width, fill) is exactly what a stuck simulation
+/// needs on screen.
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("len", &self.len())
+            .field("now", &self.now)
+            .field("processed", &self.processed)
+            .field("buckets", &self.buckets.len())
+            .field("bucket_width_ns", &(1u64 << self.shift))
+            .field("base", &self.base)
+            .field("cursor", &self.cursor)
+            .field("overflow", &self.overflow.len())
+            .field("avg_gap_ns", &self.avg_gap)
+            .field("peak_pending", &self.peak_pending)
+            .finish()
+    }
+}
+
 /// The reference binary-heap event queue: same API and the exact same
 /// `(time, seq)` pop order as [`EventQueue`].
 ///
@@ -339,6 +360,17 @@ impl<E> HeapEventQueue<E> {
     #[must_use]
     pub fn processed(&self) -> u64 {
         self.processed
+    }
+}
+
+/// Occupancy summary matching [`EventQueue`]'s, without `E: Debug`.
+impl<E> std::fmt::Debug for HeapEventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapEventQueue")
+            .field("len", &self.heap.len())
+            .field("now", &self.now)
+            .field("processed", &self.processed)
+            .finish()
     }
 }
 
@@ -430,6 +462,22 @@ mod tests {
         q.schedule(11, 2);
         assert_eq!(q.pop(), Some((11, 2)));
         assert_eq!(q.pop(), Some(((1 << 45), 1)));
+    }
+
+    /// `Debug` prints the geometry summary even when `E` is not `Debug`.
+    #[test]
+    fn debug_summarizes_geometry_without_payload_debug() {
+        struct Opaque;
+        let mut q = EventQueue::new();
+        q.schedule(10, Opaque);
+        q.schedule(1 << 40, Opaque);
+        let s = format!("{q:?}");
+        assert!(s.contains("len: 2"), "{s}");
+        assert!(s.contains("bucket_width_ns"), "{s}");
+        let mut h = HeapEventQueue::new();
+        h.schedule(10, Opaque);
+        let hs = format!("{h:?}");
+        assert!(hs.contains("HeapEventQueue") && hs.contains("len: 1"), "{hs}");
     }
 
     /// Interleaved schedule/pop with tie-heavy times matches the reference

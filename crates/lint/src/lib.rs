@@ -5,9 +5,9 @@
 //!
 //! 1. **raw-unit** — public unit-suffixed API must use `inca-units`
 //!    newtypes, not bare floats.
-//! 2. **determinism** — `inca-sim`/`inca-serve` must not read wall
-//!    clocks or OS entropy, and report paths must not iterate
-//!    unordered `HashMap`s.
+//! 2. **determinism** — `inca-sim`/`inca-serve`/`inca-net` must not
+//!    read wall clocks or OS entropy, and report paths must not
+//!    iterate unordered `HashMap`s.
 //! 3. **panic-path** — no `unwrap`/`expect`/`panic!` in non-test
 //!    library code.
 //! 4. **telemetry-ownership** — `record(Event::…)` call sites must

@@ -4,8 +4,8 @@
 //!   (`_j`, `_s`, `_pj`, `_mm2`, `_hz`) must be typed with an
 //!   `inca-units` newtype, not a bare `f64`/`f32`.
 //! * `determinism` (L2) — report-producing crates (`inca-sim`,
-//!   `inca-serve`) must not read wall clocks or entropy, and report-path
-//!   modules must not iterate unordered `HashMap`s.
+//!   `inca-serve`, `inca-net`) must not read wall clocks or entropy, and
+//!   report-path modules must not iterate unordered `HashMap`s.
 //! * `panic-path` (L3) — library code must not call `unwrap`/`expect`
 //!   or invoke `panic!`-family macros outside `#[cfg(test)]`.
 //! * `telemetry-ownership` (L4) — `record(Event::…)`/`incr(Event::…)`
@@ -315,10 +315,10 @@ fn field_type(toks: &[Token], i: usize) -> Vec<String> {
 
 /// L2: determinism in report-producing crates.
 pub fn check_determinism(file: &SourceFile, out: &mut Vec<Finding>) {
-    if file.crate_name != "sim" && file.crate_name != "serve" {
+    if file.crate_name != "sim" && file.crate_name != "serve" && file.crate_name != "net" {
         return;
     }
-    let report_path = matches!(file.file_name.as_str(), "report.rs" | "sweep.rs" | "metrics.rs");
+    let report_path = matches!(file.file_name.as_str(), "report.rs" | "sweep.rs" | "metrics.rs" | "fleet.rs");
     let toks = file.tokens();
     for (idx, t) in toks.iter().enumerate() {
         if file.test_mask[idx] {

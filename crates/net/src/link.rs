@@ -1,0 +1,147 @@
+//! Per-link transmitter state: bandwidth-delay serialization with a
+//! collapsed drop-tail / ECN queue.
+//!
+//! A packet offered to a link at `now` either drops (backlog at cap) or
+//! is accepted with a computed departure time `max(now, busy_until) +
+//! serialization`, where serialization is `bits / bandwidth` through
+//! [`inca_units::Bandwidth::transfer_time`]. All arithmetic is plain
+//! IEEE-754 on integer-valued inputs plus integer virtual time, so
+//! identical offers produce identical departures on any host.
+
+use inca_events::{ns_to_secs, secs_to_ns, SimTime};
+use inca_telemetry as tel;
+
+use crate::queue::{QueueConfig, QueueDiscipline};
+use crate::topo::LinkSpec;
+
+/// Monotonic per-link counters, read by the observability layer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkCounters {
+    /// Packets accepted into the egress queue.
+    pub tx_packets: u64,
+    /// Bytes accepted into the egress queue.
+    pub tx_bytes: u64,
+    /// Packets dropped at a full queue.
+    pub drops: u64,
+    /// Packets CE-marked by the ECN discipline.
+    pub ecn_marks: u64,
+    /// Total serialization time spent transmitting, in virtual ns. The
+    /// utilization of the link over a window is `busy_ns / window_ns`
+    /// (charged at accept time, so a sample taken mid-transmission leads
+    /// by at most one packet's serialization).
+    pub busy_ns: u64,
+}
+
+/// Outcome of offering one packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Offer {
+    /// Accepted; the last bit leaves the transmitter at `depart_ns`.
+    Accepted {
+        /// Virtual time the packet finishes serializing.
+        depart_ns: SimTime,
+        /// Whether the ECN discipline CE-marked this packet.
+        marked: bool,
+    },
+    /// Dropped at the tail of a full queue.
+    Dropped,
+}
+
+/// Mutable state of one directed link: the collapsed egress queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkState {
+    /// Virtual time the transmitter becomes idle.
+    busy_until: SimTime,
+    /// Monotonic traffic counters.
+    pub counters: LinkCounters,
+}
+
+impl LinkState {
+    /// Offers a `bytes`-sized packet to the link at time `now`.
+    ///
+    /// Increments the `net_packets_enqueued` / `net_packets_dropped` /
+    /// `net_ecn_marked` telemetry counters — this is the sole owner of
+    /// those events (DESIGN.md §10): one count per hop, at offer time.
+    pub fn offer(&mut self, now: SimTime, bytes: u32, spec: &LinkSpec, q: &QueueConfig) -> Offer {
+        let backlog_ns = self.busy_until.saturating_sub(now);
+        let backlog_bytes = spec.bandwidth * inca_units::Time::from_seconds(ns_to_secs(backlog_ns)) / 8.0;
+        if backlog_bytes + f64::from(bytes) > q.cap_bytes as f64 {
+            self.counters.drops += 1;
+            tel::incr(tel::Event::NetPacketDropped);
+            return Offer::Dropped;
+        }
+        let marked = match q.discipline {
+            QueueDiscipline::DropTail => false,
+            QueueDiscipline::EcnMarking { mark_bytes } => backlog_bytes >= mark_bytes as f64,
+        };
+        let ser_ns = secs_to_ns(spec.bandwidth.transfer_time(u64::from(bytes) * 8).seconds());
+        let start = self.busy_until.max(now);
+        self.busy_until = start + ser_ns;
+        self.counters.tx_packets += 1;
+        self.counters.tx_bytes += u64::from(bytes);
+        self.counters.busy_ns += ser_ns;
+        tel::incr(tel::Event::NetPacketEnqueued);
+        if marked {
+            self.counters.ecn_marks += 1;
+            tel::incr(tel::Event::NetEcnMarked);
+        }
+        Offer::Accepted { depart_ns: self.busy_until, marked }
+    }
+
+    /// Virtual time the transmitter becomes idle.
+    #[must_use]
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_units::Bandwidth;
+
+    fn gbit_link() -> LinkSpec {
+        // 1 Gb/s: 1 byte serializes in exactly 8 ns.
+        LinkSpec { bandwidth: Bandwidth::from_gbps(1.0), latency_ns: 100 }
+    }
+
+    #[test]
+    fn serialization_and_backlog() {
+        let spec = gbit_link();
+        let q = QueueConfig::drop_tail(10_000);
+        let mut l = LinkState::default();
+        // 1000 B at 1 Gb/s = 8 µs on an idle link.
+        assert_eq!(l.offer(0, 1000, &spec, &q), Offer::Accepted { depart_ns: 8_000, marked: false });
+        // Second packet queues behind the first.
+        assert_eq!(l.offer(0, 1000, &spec, &q), Offer::Accepted { depart_ns: 16_000, marked: false });
+        assert_eq!(l.counters.tx_packets, 2);
+        assert_eq!(l.counters.busy_ns, 16_000);
+        // After the queue drains, offers serialize from `now`.
+        assert_eq!(l.offer(20_000, 500, &spec, &q), Offer::Accepted { depart_ns: 24_000, marked: false });
+    }
+
+    #[test]
+    fn drop_tail_at_cap() {
+        let spec = gbit_link();
+        let q = QueueConfig::drop_tail(2_500);
+        let mut l = LinkState::default();
+        assert!(matches!(l.offer(0, 1000, &spec, &q), Offer::Accepted { .. }));
+        assert!(matches!(l.offer(0, 1000, &spec, &q), Offer::Accepted { .. }));
+        // Backlog is now 2000 B; a third 1000 B packet would exceed 2500.
+        assert_eq!(l.offer(0, 1000, &spec, &q), Offer::Dropped);
+        assert_eq!(l.counters.drops, 1);
+        // Once 1000 B worth of backlog has drained, space reopens.
+        assert!(matches!(l.offer(8_000, 1000, &spec, &q), Offer::Accepted { .. }));
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold() {
+        let spec = gbit_link();
+        let q = QueueConfig::ecn(10_000, 1_500);
+        let mut l = LinkState::default();
+        // Backlog 0 → unmarked; backlog 1000 → unmarked; backlog 2000 → marked.
+        assert_eq!(l.offer(0, 1000, &spec, &q), Offer::Accepted { depart_ns: 8_000, marked: false });
+        assert_eq!(l.offer(0, 1000, &spec, &q), Offer::Accepted { depart_ns: 16_000, marked: false });
+        assert_eq!(l.offer(0, 1000, &spec, &q), Offer::Accepted { depart_ns: 24_000, marked: true });
+        assert_eq!(l.counters.ecn_marks, 1);
+    }
+}

@@ -177,7 +177,9 @@ pub enum DispatchPolicy {
     /// lowest index).
     JoinShortestQueue,
     /// Shard models onto home chips (`model_idx % chips`) so a chip
-    /// rarely re-programs weights.
+    /// rarely re-programs weights. The fleet engine generalizes this
+    /// to striped sharding: each model owns a contiguous stripe of
+    /// chips with join-shortest-outstanding inside the stripe.
     ModelAffinity,
 }
 

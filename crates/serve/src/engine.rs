@@ -171,33 +171,33 @@ enum Ev {
 /// parks each launched batch under a copyable key (so `Ev::BatchDone`
 /// stays `Copy`-sized), and completed buffers return to a spare pool —
 /// steady-state serving launches allocate nothing.
-struct BatchArena {
+pub(crate) struct BatchArena {
     in_flight: Slab<Vec<Request>>,
     spare: Vec<Vec<Request>>,
 }
 
 impl BatchArena {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self { in_flight: Slab::new(), spare: Vec::new() }
     }
 
     /// A cleared buffer, recycled when one is available.
-    fn buf(&mut self) -> Vec<Request> {
+    pub(crate) fn buf(&mut self) -> Vec<Request> {
         self.spare.pop().unwrap_or_default()
     }
 
     /// Parks a launched batch, returning its key.
-    fn park(&mut self, batch: Vec<Request>) -> SlabKey {
+    pub(crate) fn park(&mut self, batch: Vec<Request>) -> SlabKey {
         self.in_flight.insert(batch)
     }
 
     /// Reclaims the batch behind `key` (`None` iff the key is stale).
-    fn reclaim(&mut self, key: SlabKey) -> Option<Vec<Request>> {
+    pub(crate) fn reclaim(&mut self, key: SlabKey) -> Option<Vec<Request>> {
         self.in_flight.remove(key)
     }
 
     /// Returns a completed buffer to the spare pool.
-    fn recycle(&mut self, mut batch: Vec<Request>) {
+    pub(crate) fn recycle(&mut self, mut batch: Vec<Request>) {
         batch.clear();
         self.spare.push(batch);
     }

@@ -1,0 +1,1267 @@
+//! Fleet-scale serving over the `inca-net` datacenter fabric.
+//!
+//! The single-fleet engine ([`crate::run_point`]) treats dispatch as
+//! free: a request teleports to its chip and its response teleports
+//! back. At hundreds of chips that is the wrong model — the question
+//! "how many requests per second can a *rack* sustain under a p99 SLO"
+//! is a network question, because every dispatch ships the request's
+//! input activations to a chip, every completion ships a response back
+//! to its dispatcher (the incast stress case), and every model switch
+//! drags a weight image across the fabric before re-programming starts.
+//!
+//! This module rewires the serving event loop around network completion
+//! events. One shared [`EventQueue`] carries both compute and fabric
+//! events in a single `(time, seq)` order:
+//!
+//! * an `Arrival` lands at a dispatcher host at the topology edge, which
+//!   picks a chip ([`DispatchPolicy`] over its *outstanding-request*
+//!   view — the dispatcher cannot see chip queues instantaneously, only
+//!   what it has sent and what has come back) and opens a request flow;
+//! * the chip admits the request when the flow's last packet arrives,
+//!   then batches exactly as the single-fleet engine does;
+//! * a launch that switches models first pulls the weight image from the
+//!   model's home dispatcher as a bulk flow (jumbo-MTU DMA chunks), then
+//!   pays the programming penalty and compute;
+//! * `BatchDone` opens one response flow per member back to its
+//!   dispatcher; the request completes when its response is delivered.
+//!
+//! Everything stays deterministic: integer virtual time, one event
+//! queue, rank-select ECMP, per-point derived seeds — so the fleet sweep
+//! ([`run_fleet_sweep`]) produces byte-identical `NET_report.json`
+//! across worker counts and across permutations of equal-cost paths.
+
+use inca_core::exec::{par_map_indexed, ExecPolicy};
+use inca_events::SlabKey;
+use inca_net::{
+    FlowSpec, LinkSpec, LinkTier, NetConfig, NetEv, NetScheduler, NetTotals, Network, NodeId, Topology,
+    TIER_COUNT,
+};
+use inca_telemetry::{self as tel, LogLinearHist};
+use inca_units::{Bandwidth, Energy};
+use serde_json::{json, Value};
+use std::fmt::Write as _;
+
+use crate::backend::{BackendKind, CostCache};
+use crate::chip::{BatchPolicy, Chip, DispatchPolicy, Request};
+use crate::engine::{BatchArena, CompletedRequest};
+use crate::event::{ns_to_ms, EventQueue, SimTime};
+use crate::obs::LinkUtilSeries;
+use crate::source::{ArrivalKind, ModelMix, RequestSource};
+use crate::sweep::ServeReport;
+
+/// Which fabric the fleet hangs off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetTopo {
+    /// A k-ary fat-tree ([`Topology::fat_tree`]); one rack per edge
+    /// switch.
+    FatTree {
+        /// Fat-tree radix (even, ≥ 2).
+        k: usize,
+        /// Hosts per edge switch (`> k/2` oversubscribes the access tier).
+        hosts_per_edge: usize,
+    },
+    /// A two-tier leaf-spine fabric ([`Topology::leaf_spine`]).
+    LeafSpine {
+        /// Rack (leaf) switches.
+        leaves: usize,
+        /// Spine switches.
+        spines: usize,
+        /// Hosts per leaf.
+        hosts_per_leaf: usize,
+    },
+}
+
+impl FleetTopo {
+    /// The default sweep fabric: a k=8 fat-tree with 5 hosts per edge —
+    /// 160 hosts across 32 racks, slightly oversubscribed at the access
+    /// tier (5 hosts share what 4 would fully subscribe).
+    #[must_use]
+    pub fn default_paper() -> Self {
+        FleetTopo::FatTree { k: 8, hosts_per_edge: 5 }
+    }
+
+    /// Total host count, without building the graph.
+    #[must_use]
+    pub fn hosts(&self) -> usize {
+        match *self {
+            FleetTopo::FatTree { k, hosts_per_edge } => k * k / 2 * hosts_per_edge,
+            FleetTopo::LeafSpine { leaves, hosts_per_leaf, .. } => leaves * hosts_per_leaf,
+        }
+    }
+
+    /// Builds the topology with every link at `spec`.
+    #[must_use]
+    pub fn build(&self, spec: LinkSpec) -> Topology {
+        match *self {
+            FleetTopo::FatTree { k, hosts_per_edge } => Topology::fat_tree(k, hosts_per_edge, spec),
+            FleetTopo::LeafSpine { leaves, spines, hosts_per_leaf } => {
+                Topology::leaf_spine(leaves, spines, hosts_per_leaf, spec)
+            }
+        }
+    }
+}
+
+/// Fabric and transfer-size parameters of a fleet run.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetNetParams {
+    /// Bandwidth and per-hop latency of every link.
+    pub link: LinkSpec,
+    /// Queue discipline, request MTU, DCTCP and routing parameters.
+    pub net: NetConfig,
+    /// Bytes a dispatch flow ships to the chip (the request's input
+    /// activations).
+    pub request_bytes: u64,
+    /// Bytes a response flow ships back to the dispatcher.
+    pub response_bytes: u64,
+    /// Weight-image bytes per model parameter (quantized RRAM weights).
+    pub weight_bytes_per_param: u64,
+    /// Packetization unit for weight flows — bulk DMA chunks, far above
+    /// the request MTU so a 100 MB image does not cost 25k events.
+    pub weight_mtu_bytes: u32,
+}
+
+impl FleetNetParams {
+    /// 100 Gb/s links with 500 ns hops, DCTCP over shallow ECN queues,
+    /// 147 KB requests (a 224×224×3 image), 4 KB responses, 1 B/param
+    /// weight images moved in 64 KB chunks.
+    #[must_use]
+    pub fn default_paper() -> Self {
+        Self {
+            link: LinkSpec { bandwidth: Bandwidth::from_gbps(100.0), latency_ns: 500 },
+            net: NetConfig::default_fleet(),
+            request_bytes: 150_528,
+            response_bytes: 4_096,
+            weight_bytes_per_param: 1,
+            weight_mtu_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Configuration of one fleet serving run (one offered-load point).
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Cost model serving the traffic.
+    pub backend: BackendKind,
+    /// The fabric the fleet hangs off.
+    pub topo: FleetTopo,
+    /// Hosts acting as dispatchers (spread across racks at a fixed
+    /// stride); the remaining hosts are chips.
+    pub dispatchers: usize,
+    /// Request routing policy, evaluated over the dispatcher's
+    /// outstanding-request view of each chip.
+    pub policy: DispatchPolicy,
+    /// Dynamic batching policy.
+    pub batch: BatchPolicy,
+    /// Per-chip admission bound on *outstanding* requests (dispatched,
+    /// not yet responded); arrivals beyond it are shed.
+    pub queue_cap: usize,
+    /// Traffic mixture over models.
+    pub mix: ModelMix,
+    /// Arrival process at the dispatchers.
+    pub arrivals: ArrivalKind,
+    /// RNG seed for the source.
+    pub seed: u64,
+    /// Number of requests the source emits.
+    pub requests: u64,
+    /// Fabric parameters.
+    pub net: FleetNetParams,
+    /// Per-tier link-utilization sampling interval, virtual ns; `0`
+    /// disables the series.
+    pub util_sample_interval_ns: SimTime,
+    /// Test hook: permute the stored order of equal-cost ECMP candidates
+    /// with this seed after route build. Rank-select ECMP makes storage
+    /// order inert, so any value must leave the run byte-identical.
+    pub ecmp_permute_seed: Option<u64>,
+}
+
+impl FleetConfig {
+    /// The default fleet: the paper fabric (160 hosts), 8 dispatchers,
+    /// 152 chips, model-affinity sharding (each model owns a stripe of
+    /// chips; join-shortest-outstanding within the stripe).
+    #[must_use]
+    pub fn default_fleet(backend: BackendKind, rate_rps: f64) -> Self {
+        Self {
+            backend,
+            topo: FleetTopo::default_paper(),
+            dispatchers: 8,
+            policy: DispatchPolicy::ModelAffinity,
+            batch: BatchPolicy::default_paper(),
+            queue_cap: 256,
+            mix: ModelMix::paper_serving_mix(),
+            arrivals: ArrivalKind::Poisson { rate_rps },
+            seed: 0xC0FFEE,
+            requests: 2000,
+            net: FleetNetParams::default_paper(),
+            util_sample_interval_ns: 0,
+            ecmp_permute_seed: None,
+        }
+    }
+
+    /// Chips in the fleet (hosts minus dispatchers).
+    #[must_use]
+    pub fn num_chips(&self) -> usize {
+        self.topo.hosts().saturating_sub(self.dispatchers)
+    }
+
+    /// The effective max batch after clamping to the backend.
+    #[must_use]
+    pub fn effective_max_batch(&self) -> usize {
+        self.batch.max_batch.min(self.backend.max_batch()).max(1)
+    }
+
+    fn validate(&self) {
+        assert!(self.dispatchers >= 1, "need at least one dispatcher");
+        assert!(self.num_chips() >= 1, "need at least one chip behind the dispatchers");
+        assert!(self.net.request_bytes > 0 && self.net.response_bytes > 0, "zero-byte transfers");
+        assert!(
+            u64::from(self.net.weight_mtu_bytes) <= self.net.net.queue.cap_bytes,
+            "a weight chunk larger than the queue cap could never be accepted"
+        );
+    }
+}
+
+/// What a completed network transfer means to the fleet engine.
+enum Xfer {
+    /// A dispatched request reached its chip.
+    Request { req: Request, chip: usize },
+    /// A weight image reached a switching chip; programming + compute
+    /// (`service_ns`) starts now.
+    Weights { chip: usize, batch: SlabKey, service_ns: SimTime },
+    /// A response reached its dispatcher; the request is complete.
+    Response { req: Request, chip: usize, batch_size: usize, service_ns: SimTime },
+}
+
+/// The shared event vocabulary: compute events and fabric events in one
+/// queue, one total order.
+enum FleetEv {
+    /// A request materializes at its dispatcher.
+    Arrival(Request),
+    /// A network-internal event (hop, deliver, ack, loss).
+    Net(NetEv),
+    /// An idle chip's batching window may have expired.
+    BatchTimeout { chip: usize },
+    /// A chip finishes its in-flight batch.
+    BatchDone { chip: usize, batch: SlabKey, service_ns: SimTime },
+}
+
+/// Adapter giving the network the shared queue under the
+/// [`NetScheduler`] contract.
+struct Sched<'a>(&'a mut EventQueue<FleetEv>);
+
+impl NetScheduler for Sched<'_> {
+    fn schedule_net(&mut self, at: SimTime, ev: NetEv) {
+        self.0.schedule(at, FleetEv::Net(ev));
+    }
+}
+
+/// Everything one fleet run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetResult {
+    /// Completed requests in response-delivery order.
+    pub completed: Vec<CompletedRequest>,
+    /// Requests dropped by dispatcher admission control.
+    pub shed: u64,
+    /// Requests offered (completed + shed, once the run drains).
+    pub offered: u64,
+    /// Virtual time of the last response delivery, ns.
+    pub makespan_ns: SimTime,
+    /// Total energy of all launched batches.
+    pub energy_j: Energy,
+    /// `hist[s]` = batches launched with size `s` (index 0 unused).
+    pub batch_hist: Vec<u64>,
+    /// Weight re-programming switches across the fleet.
+    pub switches: u64,
+    /// Discrete events processed (compute + network).
+    pub events: u64,
+    /// Sum of fleet outstanding counts sampled at each arrival.
+    pub queue_depth_sum: u64,
+    /// Largest single-chip admitted queue depth observed.
+    pub max_queue_depth: usize,
+    /// Aggregate fabric traffic totals.
+    pub net: NetTotals,
+    /// Cumulative per-tier `(busy_ns, link_count)` accumulators.
+    pub tier_busy: [(u64, usize); TIER_COUNT],
+    /// Highest single-link mean utilization per tier over the makespan.
+    pub max_link_util: [f64; TIER_COUNT],
+    /// The sampled per-tier utilization series, when enabled.
+    pub util_series: Option<LinkUtilSeries>,
+}
+
+impl FleetResult {
+    /// Completed-request throughput in requests/second of virtual time.
+    #[must_use]
+    pub fn throughput_rps(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            return 0.0;
+        }
+        self.completed.len() as f64 / (self.makespan_ns as f64 / 1e9)
+    }
+
+    /// Mean launched batch size.
+    #[must_use]
+    pub fn mean_batch(&self) -> f64 {
+        let batches: u64 = self.batch_hist.iter().sum();
+        if batches == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.batch_hist.iter().enumerate().map(|(s, &n)| s as u64 * n).sum();
+        total as f64 / batches as f64
+    }
+
+    /// Mean per-tier link utilization over the whole makespan
+    /// (`[access, aggregation, core]`).
+    #[must_use]
+    pub fn tier_util(&self) -> [f64; TIER_COUNT] {
+        let mut out = [0.0; TIER_COUNT];
+        if self.makespan_ns == 0 {
+            return out;
+        }
+        for (slot, &(busy, links)) in self.tier_busy.iter().enumerate() {
+            if links > 0 {
+                out[slot] = busy as f64 / (links as f64 * self.makespan_ns as f64);
+            }
+        }
+        out
+    }
+}
+
+/// The fleet engine: one run's full mutable state. Methods borrow
+/// disjoint fields, so the event handlers stay direct translations of
+/// the single-fleet loop with flows spliced in.
+struct FleetEngine<'a> {
+    cfg: &'a FleetConfig,
+    costs: &'a mut CostCache,
+    net: Network<Xfer>,
+    queue: EventQueue<FleetEv>,
+    chips: Vec<Chip>,
+    /// Dispatcher-side view: requests dispatched to each chip and not
+    /// yet responded. This — not the chip's true queue — is what routing
+    /// and admission see; the information is exactly one network
+    /// round-trip stale, which is the point of modeling the fabric.
+    outstanding: Vec<u32>,
+    chip_host: Vec<NodeId>,
+    disp_host: Vec<NodeId>,
+    arena: BatchArena,
+    source: RequestSource,
+    rr_cursor: usize,
+    next_id: u64,
+    max_batch: usize,
+    /// Weight-image bytes per model (params × bytes/param).
+    weight_bytes: Vec<u64>,
+    util: Option<LinkUtilSeries>,
+    result: FleetResult,
+}
+
+impl<'a> FleetEngine<'a> {
+    fn new(cfg: &'a FleetConfig, costs: &'a mut CostCache) -> Self {
+        cfg.validate();
+        let topo = cfg.topo.build(cfg.net.link);
+        let hosts = topo.hosts().to_vec();
+        // Dispatchers at a fixed stride so they spread across racks; the
+        // remaining hosts are chips, in rack order.
+        let stride = hosts.len() / cfg.dispatchers;
+        let disp_idx: Vec<usize> = (0..cfg.dispatchers).map(|d| d * stride).collect();
+        let disp_host: Vec<NodeId> = disp_idx.iter().map(|&i| hosts[i]).collect();
+        let chip_host: Vec<NodeId> =
+            hosts.iter().enumerate().filter(|(i, _)| !disp_idx.contains(i)).map(|(_, &h)| h).collect();
+        let mut net = Network::new(topo, cfg.net.net);
+        if let Some(seed) = cfg.ecmp_permute_seed {
+            net.routes_mut().permute_equal_cost(seed);
+        }
+        let weight_bytes: Vec<u64> =
+            cfg.mix.models.iter().map(|m| m.spec().param_count() * cfg.net.weight_bytes_per_param).collect();
+        let max_batch = cfg.effective_max_batch();
+        let num_chips = chip_host.len();
+        Self {
+            cfg,
+            costs,
+            net,
+            queue: EventQueue::new(),
+            chips: (0..num_chips).map(|_| Chip::new(cfg.mix.len())).collect(),
+            outstanding: vec![0; num_chips],
+            chip_host,
+            disp_host,
+            arena: BatchArena::new(),
+            source: RequestSource::new(cfg.arrivals, cfg.mix.clone(), cfg.seed, cfg.requests),
+            rr_cursor: 0,
+            next_id: 0,
+            max_batch,
+            weight_bytes,
+            util: (cfg.util_sample_interval_ns > 0).then(|| LinkUtilSeries::new(cfg.util_sample_interval_ns)),
+            result: FleetResult {
+                completed: Vec::with_capacity(cfg.requests as usize),
+                shed: 0,
+                offered: 0,
+                makespan_ns: 0,
+                energy_j: Energy::ZERO,
+                batch_hist: vec![0; max_batch + 1],
+                switches: 0,
+                events: 0,
+                queue_depth_sum: 0,
+                max_queue_depth: 0,
+                net: NetTotals::default(),
+                tier_busy: [(0, 0); TIER_COUNT],
+                max_link_util: [0.0; TIER_COUNT],
+                util_series: None,
+            },
+        }
+    }
+
+    /// The dispatcher a request enters at (and returns to): a stateless
+    /// edge load balancer striping request ids across dispatchers.
+    fn dispatcher_of(&self, id: u64) -> usize {
+        (id % self.disp_host.len() as u64) as usize
+    }
+
+    /// Routing over the dispatcher's outstanding view — the network-lag
+    /// analogue of [`DispatchPolicy::choose`].
+    fn choose_chip(&mut self, model_idx: usize) -> usize {
+        match self.cfg.policy {
+            DispatchPolicy::RoundRobin => {
+                let c = self.rr_cursor % self.outstanding.len();
+                self.rr_cursor = (self.rr_cursor + 1) % self.outstanding.len();
+                c
+            }
+            DispatchPolicy::JoinShortestQueue => {
+                let mut best = 0;
+                for (i, &o) in self.outstanding.iter().enumerate().skip(1) {
+                    if o < self.outstanding[best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+            // At fleet scale, pinning a model to *one* chip (the
+            // single-fleet reading) would idle the rest; the production
+            // shape is sharding: each model owns a contiguous stripe of
+            // chips sized by its index, and the dispatcher JSQs within
+            // the stripe. Steady state never re-programs — which is the
+            // whole point of affinity — while every chip serves traffic.
+            DispatchPolicy::ModelAffinity => {
+                let n = self.outstanding.len();
+                let models = self.cfg.mix.len();
+                if models >= n {
+                    return model_idx % n;
+                }
+                let lo = model_idx * n / models;
+                let hi = (model_idx + 1) * n / models;
+                let mut best = lo;
+                for i in lo + 1..hi {
+                    if self.outstanding[i] < self.outstanding[best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, now: SimTime, req: Request) {
+        // Chain the next arrival before anything else so source order is
+        // independent of service and network events.
+        if let Some((at, model_idx)) = self.source.next_request() {
+            self.queue
+                .schedule(at, FleetEv::Arrival(Request { id: self.next_id, model_idx, arrival_ns: at }));
+            self.next_id += 1;
+        }
+        self.result.offered += 1;
+        let fleet_depth: u64 = self.outstanding.iter().map(|&o| u64::from(o)).sum();
+        self.result.queue_depth_sum += fleet_depth;
+        let c = self.choose_chip(req.model_idx);
+        if self.outstanding[c] as usize >= self.cfg.queue_cap {
+            self.result.shed += 1;
+            tel::incr(tel::Event::ServeRequestShed);
+            return;
+        }
+        tel::incr(tel::Event::ServeRequestAdmitted);
+        self.outstanding[c] += 1;
+        let d = self.dispatcher_of(req.id);
+        let spec =
+            FlowSpec { src: self.disp_host[d], dst: self.chip_host[c], bytes: self.cfg.net.request_bytes };
+        self.net.start_flow(now, spec, Xfer::Request { req, chip: c }, &mut Sched(&mut self.queue));
+    }
+
+    fn on_net(&mut self, now: SimTime, ev: NetEv) {
+        let Some(delivery) = self.net.on_event(now, ev, &mut Sched(&mut self.queue)) else {
+            return;
+        };
+        match delivery.payload {
+            Xfer::Request { req, chip } => self.on_request_delivered(now, req, chip),
+            Xfer::Weights { chip, batch, service_ns } => {
+                // Weights are on-chip; programming + compute runs now.
+                self.queue.schedule(now + service_ns, FleetEv::BatchDone { chip, batch, service_ns });
+            }
+            Xfer::Response { req, chip, batch_size, service_ns } => {
+                debug_assert!(self.outstanding[chip] > 0);
+                self.outstanding[chip] = self.outstanding[chip].saturating_sub(1);
+                self.result.completed.push(CompletedRequest {
+                    id: req.id,
+                    model_idx: req.model_idx,
+                    arrival_ns: req.arrival_ns,
+                    done_ns: now,
+                    batch_size,
+                    service_ns,
+                });
+                self.result.makespan_ns = self.result.makespan_ns.max(now);
+            }
+        }
+    }
+
+    fn on_request_delivered(&mut self, now: SimTime, req: Request, chip: usize) {
+        let model_idx = req.model_idx;
+        self.chips[chip].admit(req);
+        self.result.max_queue_depth = self.result.max_queue_depth.max(self.chips[chip].queued);
+        if !self.chips[chip].busy() {
+            if self.chips[chip].depth(model_idx) >= self.max_batch {
+                self.launch(now, chip, model_idx);
+            } else {
+                // Hold the batch open; stale timeouts re-check and no-op.
+                self.queue
+                    .schedule(now.saturating_add(self.cfg.batch.max_wait_ns), FleetEv::BatchTimeout { chip });
+            }
+        }
+    }
+
+    fn on_timeout(&mut self, now: SimTime, chip: usize) {
+        if self.chips[chip].busy() {
+            return;
+        }
+        let oldest = self.chips[chip]
+            .oldest_model()
+            .and_then(|m| self.chips[chip].head_arrival(m).map(|head| (m, head)));
+        if let Some((m, head)) = oldest {
+            if now.saturating_sub(head) >= self.cfg.batch.max_wait_ns
+                || self.chips[chip].depth(m) >= self.max_batch
+            {
+                self.launch(now, chip, m);
+            } else if let Some(deadline) = self.chips[chip].earliest_deadline(self.cfg.batch.max_wait_ns) {
+                self.queue.schedule(deadline.max(now), FleetEv::BatchTimeout { chip });
+            }
+        }
+    }
+
+    /// Forms a batch, prices it, and either starts compute directly or —
+    /// when the launch switches models — opens the weight flow that
+    /// gates it.
+    fn launch(&mut self, now: SimTime, chip: usize, model_idx: usize) {
+        let switching =
+            self.chips[chip].resident_model.is_some() && self.chips[chip].resident_model != Some(model_idx);
+        let mut batch = self.arena.buf();
+        self.chips[chip].launch_into(model_idx, self.max_batch, &mut batch);
+        let cost = self.costs.cost(model_idx, batch.len());
+        let penalty_ns = if switching { self.costs.switch_penalty_ns(model_idx) } else { 0 };
+        let service_ns = cost.service_ns + penalty_ns;
+        self.result.energy_j += cost.energy_j;
+        self.result.batch_hist[batch.len()] += 1;
+        tel::incr(tel::Event::ServeBatchLaunched);
+        let key = self.arena.park(batch);
+        if switching {
+            tel::incr(tel::Event::ServeReprogramSwitch);
+            // Pull the weight image from the model's home dispatcher
+            // (the model store rides with it); programming starts when
+            // the last chunk lands, compute after the penalty.
+            let store = self.disp_host[model_idx % self.disp_host.len()];
+            let spec = FlowSpec {
+                src: store,
+                dst: self.chip_host[chip],
+                bytes: self.weight_bytes[model_idx].max(1),
+            };
+            self.net.start_flow_with_mtu(
+                now,
+                spec,
+                Xfer::Weights { chip, batch: key, service_ns },
+                self.cfg.net.weight_mtu_bytes,
+                &mut Sched(&mut self.queue),
+            );
+        } else {
+            self.queue.schedule(now + service_ns, FleetEv::BatchDone { chip, batch: key, service_ns });
+        }
+    }
+
+    fn on_batch_done(&mut self, now: SimTime, chip: usize, key: SlabKey, service_ns: SimTime) {
+        self.chips[chip].complete();
+        let Some(batch) = self.arena.reclaim(key) else {
+            // Every launch parks exactly one batch and every BatchDone
+            // fires exactly once, so a stale key is an engine logic bug.
+            debug_assert!(false, "BatchDone with a stale arena key");
+            return;
+        };
+        let size = batch.len();
+        // One response flow per member back to its dispatcher — many
+        // chips answering one dispatcher is the incast the fabric model
+        // exists to price.
+        for &req in &batch {
+            let d = self.dispatcher_of(req.id);
+            let spec = FlowSpec {
+                src: self.chip_host[chip],
+                dst: self.disp_host[d],
+                bytes: self.cfg.net.response_bytes,
+            };
+            self.net.start_flow(
+                now,
+                spec,
+                Xfer::Response { req, chip, batch_size: size, service_ns },
+                &mut Sched(&mut self.queue),
+            );
+        }
+        self.arena.recycle(batch);
+        // Work-conserving: a freed chip with pending work relaunches.
+        if let Some(m) = self.chips[chip].oldest_model() {
+            self.launch(now, chip, m);
+        }
+    }
+
+    fn run(mut self) -> FleetResult {
+        let _span = tel::span("serve.fleet_point");
+        if let Some((at, model_idx)) = self.source.next_request() {
+            self.queue
+                .schedule(at, FleetEv::Arrival(Request { id: self.next_id, model_idx, arrival_ns: at }));
+            self.next_id += 1;
+        }
+        while let Some((now, ev)) = self.queue.pop() {
+            if let Some(u) = &mut self.util {
+                if u.due(now) {
+                    u.advance(now, &self.net.tier_busy());
+                }
+            }
+            match ev {
+                FleetEv::Arrival(req) => self.on_arrival(now, req),
+                FleetEv::Net(nev) => self.on_net(now, nev),
+                FleetEv::BatchTimeout { chip } => self.on_timeout(now, chip),
+                FleetEv::BatchDone { chip, batch, service_ns } => {
+                    self.on_batch_done(now, chip, batch, service_ns);
+                }
+            }
+        }
+        debug_assert_eq!(self.net.flows_in_flight(), 0, "drained queue left flows in flight");
+        self.result.events = self.queue.processed();
+        self.result.switches = self.chips.iter().map(|c| c.switches).sum();
+        self.result.net = self.net.totals();
+        self.result.tier_busy = self.net.tier_busy();
+        if let Some(mut u) = self.util.take() {
+            u.advance(self.result.makespan_ns, &self.result.tier_busy);
+            self.result.util_series = Some(u);
+        }
+        if self.result.makespan_ns > 0 {
+            let span = self.result.makespan_ns as f64;
+            for (i, l) in self.net.topo().links().iter().enumerate() {
+                let slot = match l.tier {
+                    LinkTier::Access => 0,
+                    LinkTier::Aggregation => 1,
+                    LinkTier::Core => 2,
+                };
+                let util = self.net.links()[i].counters.busy_ns as f64 / span;
+                self.result.max_link_util[slot] = self.result.max_link_util[slot].max(util);
+            }
+        }
+        self.result
+    }
+}
+
+/// Runs one fleet point to completion.
+///
+/// # Panics
+///
+/// Panics on configuration errors (no dispatchers, no chips, zero-byte
+/// transfers, weight chunks above the queue cap).
+#[must_use]
+pub fn run_fleet_point(config: &FleetConfig) -> FleetResult {
+    let mut costs = CostCache::new(config.backend, &config.mix);
+    run_fleet_point_with_costs(config, &mut costs)
+}
+
+/// [`run_fleet_point`] reusing a warm cost cache (the sweep driver
+/// shares one per backend per worker).
+///
+/// # Panics
+///
+/// Panics on configuration errors (see [`run_fleet_point`]).
+#[must_use]
+pub fn run_fleet_point_with_costs(config: &FleetConfig, costs: &mut CostCache) -> FleetResult {
+    FleetEngine::new(config, costs).run()
+}
+
+/// One fleet point, summarized for `NET_report.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPointSummary {
+    /// Offered load, requests/second.
+    pub offered_rps: f64,
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests completed (response delivered at the dispatcher).
+    pub completed: u64,
+    /// Requests shed at the dispatchers.
+    pub shed: u64,
+    /// Completed throughput, requests/second of virtual time.
+    pub throughput_rps: f64,
+    /// Median end-to-end latency (arrival → response delivery), ms.
+    pub p50_ms: Option<f64>,
+    /// 95th-percentile latency, ms.
+    pub p95_ms: Option<f64>,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: Option<f64>,
+    /// Mean launched batch size.
+    pub mean_batch: f64,
+    /// Weight re-programming switches.
+    pub switches: u64,
+    /// Events processed (compute + network).
+    pub events: u64,
+    /// Aggregate fabric totals.
+    pub net: NetTotals,
+    /// Mean per-tier link utilization over the makespan.
+    pub tier_util: [f64; TIER_COUNT],
+    /// Highest single-link mean utilization per tier.
+    pub max_link_util: [f64; TIER_COUNT],
+}
+
+impl FleetPointSummary {
+    /// Condenses a fleet run at `offered_rps` into report form.
+    #[must_use]
+    pub fn from_run(offered_rps: f64, run: &FleetResult) -> Self {
+        let mut lat = LogLinearHist::default_ns();
+        for c in &run.completed {
+            lat.record(c.latency_ns());
+        }
+        Self {
+            offered_rps,
+            offered: run.offered,
+            completed: run.completed.len() as u64,
+            shed: run.shed,
+            throughput_rps: run.throughput_rps(),
+            p50_ms: lat.quantile(0.50).map(ns_to_ms),
+            p95_ms: lat.quantile(0.95).map(ns_to_ms),
+            p99_ms: lat.quantile(0.99).map(ns_to_ms),
+            mean_batch: run.mean_batch(),
+            switches: run.switches,
+            events: run.events,
+            net: run.net,
+            tier_util: run.tier_util(),
+            max_link_util: run.max_link_util,
+        }
+    }
+
+    /// JSON form for the report.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let tiers = |v: &[f64; TIER_COUNT]| Value::Array(v.iter().map(|&u| json!(u)).collect());
+        let net = json!({
+            "flows": self.net.flows_completed,
+            "packets": self.net.packets,
+            "bytes": self.net.bytes,
+            "drops": self.net.drops,
+            "ecn_marks": self.net.ecn_marks,
+            "retransmits": self.net.retransmits,
+        });
+        json!({
+            "offered_rps": self.offered_rps,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "mean_batch": self.mean_batch,
+            "switches": self.switches,
+            "events": self.events,
+            "net": net,
+            "tier_util": tiers(&self.tier_util),
+            "max_link_util": tiers(&self.max_link_util),
+        })
+    }
+}
+
+/// Configuration of a full fleet sweep.
+#[derive(Debug, Clone)]
+pub struct FleetSweepConfig {
+    /// Backends to drive (report order). The headline is INCA vs WS.
+    pub backends: Vec<BackendKind>,
+    /// The fabric.
+    pub topo: FleetTopo,
+    /// Dispatcher hosts.
+    pub dispatchers: usize,
+    /// Request routing policy.
+    pub policy: DispatchPolicy,
+    /// Batching policy.
+    pub batch: BatchPolicy,
+    /// Per-chip outstanding-request admission bound.
+    pub queue_cap: usize,
+    /// Traffic mixture.
+    pub mix: ModelMix,
+    /// RNG seed (one stream per point, derived deterministically).
+    pub seed: u64,
+    /// Requests per offered-load point.
+    pub requests_per_point: u64,
+    /// Load grid as fractions of the WS baseline's fleet capacity.
+    pub ws_grid: Vec<f64>,
+    /// Extra grid points as fractions of INCA's fleet capacity (dedup'd
+    /// into the shared absolute grid).
+    pub inca_grid: Vec<f64>,
+    /// Fabric parameters.
+    pub net: FleetNetParams,
+    /// Per-tier utilization sampling interval per point (`0` disables).
+    pub util_sample_interval_ns: SimTime,
+    /// Worker threads for the point fan-out: `0` sizes the pool to the
+    /// host, `1` forces the sequential path. Purely an execution knob —
+    /// every value produces byte-identical reports, which the
+    /// determinism suite pins.
+    pub workers: usize,
+    /// Test hook forwarded to every point's [`FleetConfig`].
+    pub ecmp_permute_seed: Option<u64>,
+}
+
+impl FleetSweepConfig {
+    /// The quick sweep the `experiments net` subcommand runs: INCA vs WS
+    /// on the 160-host fat-tree, 152 chips behind 8 dispatchers.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            backends: vec![BackendKind::Inca, BackendKind::WsBaseline],
+            topo: FleetTopo::default_paper(),
+            dispatchers: 8,
+            policy: DispatchPolicy::ModelAffinity,
+            batch: BatchPolicy::default_paper(),
+            queue_cap: 256,
+            mix: ModelMix::paper_serving_mix(),
+            seed: 2026,
+            requests_per_point: 2000,
+            ws_grid: vec![0.2, 0.6, 1.0, 1.3],
+            inca_grid: vec![0.5, 0.9],
+            net: FleetNetParams::default_paper(),
+            util_sample_interval_ns: 0,
+            workers: 0,
+            ecmp_permute_seed: None,
+        }
+    }
+
+    /// The full sweep (`--full`): more requests per point for tighter
+    /// tails.
+    #[must_use]
+    pub fn full() -> Self {
+        Self { requests_per_point: 6000, ..Self::quick() }
+    }
+
+    /// Chips per fleet (hosts minus dispatchers).
+    #[must_use]
+    pub fn num_chips(&self) -> usize {
+        self.topo.hosts().saturating_sub(self.dispatchers)
+    }
+}
+
+/// One backend's fleet sweep results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetBackendSweep {
+    /// The backend.
+    pub backend: BackendKind,
+    /// Full-batch fleet capacity (compute-only), requests/second.
+    pub capacity_rps: f64,
+    /// One summary per grid point, ascending in offered load.
+    pub points: Vec<FleetPointSummary>,
+}
+
+impl FleetBackendSweep {
+    /// Largest offered load whose p99 stays within `bound_ms` with
+    /// nothing shed, clamped to the compute capacity — the fleet's
+    /// sustainable-load headline.
+    #[must_use]
+    pub fn sustainable_rps(&self, bound_ms: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| {
+                p.offered_rps <= self.capacity_rps
+                    && p.p99_ms.is_some_and(|p99| p99 <= bound_ms)
+                    && p.shed == 0
+            })
+            .map(|p| p.offered_rps)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The whole fleet sweep: the `NET_report.json` payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Per-backend results.
+    pub backends: Vec<FleetBackendSweep>,
+    /// The shared absolute load grid, requests/second.
+    pub grid_rps: Vec<f64>,
+    /// Topology builder signature.
+    pub topo_name: String,
+    /// Total hosts on the fabric.
+    pub hosts: usize,
+    /// Chips behind the dispatchers.
+    pub chips: usize,
+    /// Dispatcher hosts.
+    pub dispatchers: usize,
+    /// Racks (edge switches with hosts).
+    pub racks: usize,
+    /// Dispatch policy id.
+    pub policy: &'static str,
+    /// Requests per point.
+    pub requests_per_point: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl FleetReport {
+    /// The p99 bound for the sustainable-load headline — shared with the
+    /// single-fleet sweep so the two reports are comparable.
+    pub const P99_BOUND_MS: f64 = ServeReport::P99_BOUND_MS;
+
+    /// Machine-readable report (the `NET_report.json` payload). The
+    /// headline key is `sustainable_rps_per_rack`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let backends: Vec<Value> = self
+            .backends
+            .iter()
+            .map(|b| {
+                let sustainable = b.sustainable_rps(Self::P99_BOUND_MS);
+                json!({
+                    "backend": b.backend.id(),
+                    "capacity_rps": b.capacity_rps,
+                    "sustainable_rps": sustainable,
+                    "sustainable_rps_per_rack": sustainable / self.racks as f64,
+                    "points": Value::Array(b.points.iter().map(FleetPointSummary::to_json).collect::<Vec<_>>()),
+                })
+            })
+            .collect();
+        json!({
+            "report": "inca-serve fleet sweep over inca-net",
+            "p99_bound_ms": Self::P99_BOUND_MS,
+            "topology": self.topo_name,
+            "hosts": self.hosts as u64,
+            "chips": self.chips as u64,
+            "dispatchers": self.dispatchers as u64,
+            "racks": self.racks as u64,
+            "policy": self.policy,
+            "requests_per_point": self.requests_per_point,
+            "seed": self.seed,
+            "grid_rps": Value::Array(self.grid_rps.iter().map(|&g| json!(g)).collect::<Vec<_>>()),
+            "backends": Value::Array(backends),
+        })
+    }
+
+    /// Pretty JSON text — byte-identical across same-seed runs.
+    #[must_use]
+    pub fn to_pretty_json(&self) -> String {
+        // Built from plain numbers and strings; serialization of such a
+        // tree is infallible by construction.
+        // lint: allow(panic-path)
+        serde_json::to_string_pretty(&self.to_json()).expect("report serializes")
+    }
+
+    /// Human-readable sweep table.
+    #[must_use]
+    pub fn text_table(&self) -> String {
+        let mut s = format!(
+            "{} on {} ({} chips + {} dispatchers, {} racks), {} requests/point, seed {}\n",
+            self.policy,
+            self.topo_name,
+            self.chips,
+            self.dispatchers,
+            self.racks,
+            self.requests_per_point,
+            self.seed
+        );
+        for b in &self.backends {
+            let sustainable = b.sustainable_rps(Self::P99_BOUND_MS);
+            let _ = writeln!(
+                s,
+                "-- {} (compute capacity {:.0} rps; sustainable@p99<{}ms {:.0} rps = {:.1} rps/rack)",
+                b.backend,
+                b.capacity_rps,
+                Self::P99_BOUND_MS,
+                sustainable,
+                sustainable / self.racks as f64
+            );
+            let _ = writeln!(
+                s,
+                "   offered rps | done | shed |  p50 ms |  p99 ms | batch | drops | marks | rxmit | util a/g/c"
+            );
+            let fmt_ms = |v: Option<f64>| v.map_or_else(|| format!("{:>7}", "n/a"), |x| format!("{x:>7.2}"));
+            for p in &b.points {
+                let _ = writeln!(
+                    s,
+                    "   {:>11.0} | {:>4} | {:>4} | {} | {} | {:>5.1} | {:>5} | {:>5} | {:>5} | {:.2}/{:.2}/{:.2}",
+                    p.offered_rps,
+                    p.completed,
+                    p.shed,
+                    fmt_ms(p.p50_ms),
+                    fmt_ms(p.p99_ms),
+                    p.mean_batch,
+                    p.net.drops,
+                    p.net.ecn_marks,
+                    p.net.retransmits,
+                    p.tier_util[0],
+                    p.tier_util[1],
+                    p.tier_util[2],
+                );
+            }
+        }
+        s
+    }
+}
+
+/// Runs the fleet sweep: builds the shared grid from the WS and INCA
+/// fleet capacities, then drives every backend across it on the worker
+/// pool. Results are keyed by point index, so every `workers` value
+/// yields byte-identical reports.
+#[must_use]
+pub fn run_fleet_sweep(cfg: &FleetSweepConfig) -> FleetReport {
+    let _span = tel::span("serve.fleet_sweep");
+    let chips = cfg.num_chips();
+    let cap_of = |kind: BackendKind| {
+        let mut cache = CostCache::new(kind, &cfg.mix);
+        cache.capacity_rps(&cfg.mix, chips)
+    };
+    let cap_ws = cap_of(BackendKind::WsBaseline);
+    let cap_inca = cap_of(BackendKind::Inca);
+
+    let mut grid_rps: Vec<f64> = cfg.ws_grid.iter().map(|r| r * cap_ws).collect();
+    for r in &cfg.inca_grid {
+        let g = r * cap_inca;
+        if !grid_rps.iter().any(|&x| (x - g).abs() / g < 0.05) {
+            grid_rps.push(g);
+        }
+    }
+    grid_rps.sort_by(f64::total_cmp);
+
+    let n_grid = grid_rps.len();
+    let n_points = cfg.backends.len() * n_grid;
+    let pool = match cfg.workers {
+        0 => ExecPolicy::parallel(),
+        w => ExecPolicy::parallel_with(w),
+    };
+    let summaries = par_map_indexed(
+        pool,
+        n_points,
+        || {
+            let mut caches: Vec<Option<CostCache>> = Vec::new();
+            caches.resize_with(cfg.backends.len(), || None);
+            caches
+        },
+        |caches, p| {
+            let (bi, gi) = (p / n_grid, p % n_grid);
+            let backend = cfg.backends[bi];
+            let rate = grid_rps[gi];
+            let cache = caches[bi].get_or_insert_with(|| CostCache::new(backend, &cfg.mix));
+            let point_cfg = FleetConfig {
+                backend,
+                topo: cfg.topo,
+                dispatchers: cfg.dispatchers,
+                policy: cfg.policy,
+                batch: cfg.batch,
+                queue_cap: cfg.queue_cap,
+                mix: cfg.mix.clone(),
+                arrivals: ArrivalKind::Poisson { rate_rps: rate },
+                // One deterministic stream per (backend, point).
+                seed: cfg.seed ^ ((bi as u64) << 32) ^ gi as u64,
+                requests: cfg.requests_per_point,
+                net: cfg.net,
+                util_sample_interval_ns: cfg.util_sample_interval_ns,
+                ecmp_permute_seed: cfg.ecmp_permute_seed,
+            };
+            let run = run_fleet_point_with_costs(&point_cfg, cache);
+            FleetPointSummary::from_run(rate, &run)
+        },
+    );
+
+    let topo = cfg.topo.build(cfg.net.link);
+    let mut backends = Vec::with_capacity(cfg.backends.len());
+    let mut summaries = summaries.into_iter();
+    for &backend in &cfg.backends {
+        let mut cache = CostCache::new(backend, &cfg.mix);
+        let capacity_rps = cache.capacity_rps(&cfg.mix, chips);
+        let points: Vec<FleetPointSummary> = summaries.by_ref().take(n_grid).collect();
+        backends.push(FleetBackendSweep { backend, capacity_rps, points });
+    }
+
+    FleetReport {
+        backends,
+        grid_rps,
+        topo_name: topo.name().to_string(),
+        hosts: topo.hosts().len(),
+        chips,
+        dispatchers: cfg.dispatchers,
+        racks: topo.racks(),
+        policy: cfg.policy.id(),
+        requests_per_point: cfg.requests_per_point,
+        seed: cfg.seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use inca_workloads::Model;
+
+    fn small(backend: BackendKind, rate: f64, requests: u64) -> FleetConfig {
+        let mut cfg = FleetConfig::default_fleet(backend, rate);
+        cfg.topo = FleetTopo::LeafSpine { leaves: 4, spines: 2, hosts_per_leaf: 4 };
+        cfg.dispatchers = 2;
+        cfg.requests = requests;
+        cfg.mix = ModelMix::new(vec![Model::ResNet18, Model::MobileNetV2], vec![2.0, 1.0]);
+        cfg
+    }
+
+    #[test]
+    fn all_requests_complete_or_shed() {
+        let cfg = small(BackendKind::Inca, 2000.0, 300);
+        let r = run_fleet_point(&cfg);
+        assert_eq!(r.completed.len() as u64 + r.shed, 300);
+        assert_eq!(r.offered, 300);
+        assert_eq!(r.net.flows_completed, r.net.flows_started);
+        // Request + response flows at minimum (weight flows on top).
+        assert!(r.net.flows_completed >= 2 * r.completed.len() as u64);
+    }
+
+    #[test]
+    fn latency_includes_network_time() {
+        let cfg = small(BackendKind::Inca, 2000.0, 200);
+        let r = run_fleet_point(&cfg);
+        assert!(!r.completed.is_empty());
+        for c in &r.completed {
+            // End-to-end latency covers the request flow, service, and
+            // the response flow — it can never be below service alone.
+            assert!(c.latency_ns() > c.service_ns, "request {} skipped the network", c.id);
+        }
+    }
+
+    #[test]
+    fn network_makes_latency_strictly_worse_than_teleport() {
+        // The same traffic through the single-fleet (teleporting) engine
+        // must complete no later than through the fabric. Both engines
+        // run round-robin so their dispatch decisions are identical and
+        // the only difference left is the network (flows + weight
+        // transfers vs teleportation).
+        let mut fleet_cfg = small(BackendKind::Inca, 5000.0, 300);
+        fleet_cfg.policy = DispatchPolicy::RoundRobin;
+        let fleet = run_fleet_point(&fleet_cfg);
+        let mut serve_cfg = crate::engine::ServeConfig::default_fleet(BackendKind::Inca, 5000.0);
+        serve_cfg.policy = DispatchPolicy::RoundRobin;
+        serve_cfg.chips = fleet_cfg.num_chips();
+        serve_cfg.mix = fleet_cfg.mix.clone();
+        serve_cfg.seed = fleet_cfg.seed;
+        serve_cfg.requests = fleet_cfg.requests;
+        serve_cfg.queue_cap = fleet_cfg.queue_cap;
+        let serve = crate::engine::run_point(&serve_cfg);
+        let mean = |done: &[CompletedRequest]| {
+            done.iter().map(|c| c.latency_ns() as f64).sum::<f64>() / done.len() as f64
+        };
+        assert!(!fleet.completed.is_empty() && !serve.completed.is_empty());
+        assert!(
+            mean(&fleet.completed) > mean(&serve.completed),
+            "fabric transfers must cost latency: fleet {} vs teleport {}",
+            mean(&fleet.completed),
+            mean(&serve.completed)
+        );
+    }
+
+    #[test]
+    fn switching_pulls_weight_flows() {
+        // Round-robin over a 2-model mix forces residency churn; every
+        // switch must appear as a bulk flow beyond request + response.
+        let mut cfg = small(BackendKind::Inca, 5000.0, 400);
+        cfg.policy = DispatchPolicy::RoundRobin;
+        let r = run_fleet_point(&cfg);
+        assert!(r.switches > 0, "round-robin over two models must switch");
+        let base = 2 * r.completed.len() as u64;
+        assert_eq!(r.net.flows_completed, base + r.switches);
+        // Weight images dominate the byte count.
+        assert!(r.net.bytes > r.switches * 1_000_000, "weight bytes missing");
+    }
+
+    #[test]
+    fn affinity_needs_no_weight_flows() {
+        let mut cfg = small(BackendKind::Inca, 5000.0, 400);
+        cfg.policy = DispatchPolicy::ModelAffinity;
+        let r = run_fleet_point(&cfg);
+        assert_eq!(r.switches, 0);
+        assert_eq!(r.net.flows_completed, 2 * r.completed.len() as u64);
+    }
+
+    #[test]
+    fn shedding_respects_outstanding_cap() {
+        let mut cfg = small(BackendKind::WsBaseline, 1e6, 400);
+        cfg.queue_cap = 4;
+        let r = run_fleet_point(&cfg);
+        assert!(r.shed > 0, "extreme overload must shed at the dispatchers");
+        assert_eq!(r.completed.len() as u64 + r.shed, 400);
+    }
+
+    #[test]
+    fn util_series_samples_when_enabled() {
+        let mut cfg = small(BackendKind::Inca, 5000.0, 200);
+        cfg.util_sample_interval_ns = 1_000_000;
+        let r = run_fleet_point(&cfg);
+        let series = r.util_series.as_ref().expect("series enabled");
+        assert!(!series.is_empty());
+        assert!(series.times_ns().last().is_some_and(|&t| t <= r.makespan_ns));
+        // Traffic flowed, so some access-tier interval saw utilization.
+        assert!(series.peak()[0] > 0.0);
+        // Aggregate accounting agrees with the series' inputs.
+        assert!(r.tier_util()[0] > 0.0);
+    }
+
+    #[test]
+    fn fleet_point_is_deterministic() {
+        let cfg = small(BackendKind::Inca, 3000.0, 250);
+        let a = run_fleet_point(&cfg);
+        let b = run_fleet_point(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ecmp_permutation_is_invisible_end_to_end() {
+        let base = small(BackendKind::Inca, 3000.0, 250);
+        let a = run_fleet_point(&base);
+        for seed in [7u64, 0xFEED_FACE] {
+            let mut cfg = base.clone();
+            cfg.ecmp_permute_seed = Some(seed);
+            let b = run_fleet_point(&cfg);
+            assert_eq!(a, b, "equal-cost storage order leaked into results (seed {seed})");
+        }
+    }
+
+    fn tiny_sweep() -> FleetSweepConfig {
+        FleetSweepConfig {
+            topo: FleetTopo::LeafSpine { leaves: 4, spines: 2, hosts_per_leaf: 4 },
+            dispatchers: 2,
+            requests_per_point: 250,
+            ws_grid: vec![0.3, 1.0],
+            inca_grid: vec![0.8],
+            mix: ModelMix::new(vec![Model::ResNet18, Model::MobileNetV2], vec![2.0, 1.0]),
+            ..FleetSweepConfig::quick()
+        }
+    }
+
+    #[test]
+    fn sweep_covers_every_backend_and_point() {
+        let r = run_fleet_sweep(&tiny_sweep());
+        assert_eq!(r.backends.len(), 2);
+        assert_eq!(r.chips, 14);
+        assert_eq!(r.racks, 4);
+        for b in &r.backends {
+            assert_eq!(b.points.len(), r.grid_rps.len());
+            assert!(b.capacity_rps > 0.0);
+        }
+    }
+
+    #[test]
+    fn inca_sustains_more_fleet_load_than_ws() {
+        let r = run_fleet_sweep(&tiny_sweep());
+        let get = |k| r.backends.iter().find(|b| b.backend == k).unwrap();
+        let inca = get(BackendKind::Inca).sustainable_rps(FleetReport::P99_BOUND_MS);
+        let ws = get(BackendKind::WsBaseline).sustainable_rps(FleetReport::P99_BOUND_MS);
+        assert!(inca > ws, "inca sustainable {inca} rps vs ws {ws} rps");
+    }
+
+    #[test]
+    fn report_text_and_json_are_nonempty() {
+        let r = run_fleet_sweep(&tiny_sweep());
+        assert!(r.text_table().contains("-- inca"));
+        let json = r.to_pretty_json();
+        assert!(json.contains("\"sustainable_rps_per_rack\""));
+        assert!(json.contains("\"tier_util\""));
+    }
+}

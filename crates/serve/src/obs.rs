@@ -18,10 +18,14 @@
 //!   deterministic log-linear histogram.
 //! * [`SloMonitor`] — an error-budget burn-rate monitor over a sliding
 //!   virtual-time window, emitting merged violation windows.
+//! * [`LinkUtilSeries`] — per-fabric-tier link-utilization sampling for
+//!   the fleet engine, fed from the network's cumulative busy-time
+//!   accumulators on the same fixed virtual-time grid.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 
+use inca_net::{ALL_TIERS, TIER_COUNT};
 use inca_telemetry::{self as tel, LogLinearHist, TimeSeries};
 
 use crate::chip::{Chip, Request};
@@ -464,6 +468,142 @@ impl ObsOutput {
     }
 }
 
+/// Per-fabric-tier link-utilization time series for a fleet run.
+///
+/// The fleet engine feeds it the network's cumulative per-tier busy-time
+/// accumulators ([`inca_net::Network::tier_busy`]) before every event;
+/// rows land on the fixed grid `k * interval` like the [`Sampler`]'s, so
+/// the series is independent of same-timestamp event interleaving. Each
+/// row is the mean utilization of the tier's links over the interval:
+/// `Δbusy_ns / (links × interval_ns)`. Serialization time is charged at
+/// enqueue (see [`inca_net::LinkCounters::busy_ns`]), so a burst can
+/// push an interval above 1.0 — that is offered-load utilization, the
+/// congestion signal the sweep wants, not an accounting error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkUtilSeries {
+    interval_ns: SimTime,
+    next_t: SimTime,
+    prev_busy: [u64; TIER_COUNT],
+    times_ns: Vec<SimTime>,
+    rows: Vec<[f64; TIER_COUNT]>,
+}
+
+impl LinkUtilSeries {
+    /// An empty series sampling every `interval_ns` of virtual time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_ns == 0`.
+    #[must_use]
+    pub fn new(interval_ns: SimTime) -> Self {
+        assert!(interval_ns > 0, "sampling interval must be positive");
+        Self {
+            interval_ns,
+            next_t: interval_ns,
+            prev_busy: [0; TIER_COUNT],
+            times_ns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Whether at least one grid row is due at or before `now`. The
+    /// fleet engine checks this before paying for the (O(links))
+    /// accumulator snapshot [`advance`](Self::advance) consumes.
+    #[must_use]
+    pub fn due(&self, now: SimTime) -> bool {
+        self.next_t <= now
+    }
+
+    /// Emits every grid row at or before `now` from the cumulative
+    /// per-tier `(busy_ns, link_count)` accumulators.
+    pub fn advance(&mut self, now: SimTime, tier_busy: &[(u64, usize); TIER_COUNT]) {
+        while self.next_t <= now {
+            let mut row = [0.0; TIER_COUNT];
+            for (slot, &(busy, links)) in tier_busy.iter().enumerate() {
+                let d = busy - self.prev_busy[slot];
+                row[slot] =
+                    if links == 0 { 0.0 } else { d as f64 / (links as f64 * self.interval_ns as f64) };
+                self.prev_busy[slot] = busy;
+            }
+            self.times_ns.push(self.next_t);
+            self.rows.push(row);
+            self.next_t += self.interval_ns;
+        }
+    }
+
+    /// Number of emitted rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no row has been emitted yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Grid timestamps, virtual ns.
+    #[must_use]
+    pub fn times_ns(&self) -> &[SimTime] {
+        &self.times_ns
+    }
+
+    /// Utilization rows, `[access, aggregation, core]` per grid point.
+    #[must_use]
+    pub fn rows(&self) -> &[[f64; TIER_COUNT]] {
+        &self.rows
+    }
+
+    /// Peak per-tier utilization across every row.
+    #[must_use]
+    pub fn peak(&self) -> [f64; TIER_COUNT] {
+        let mut p = [0.0f64; TIER_COUNT];
+        for row in &self.rows {
+            for (slot, &u) in row.iter().enumerate() {
+                p[slot] = p[slot].max(u);
+            }
+        }
+        p
+    }
+
+    /// Hand-rendered JSON: `{"interval_ns":..,"tiers":[..],"times_ns":
+    /// [..],"rows":[[..],..]}` — byte-reproducible across hosts.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"interval_ns\":{},\"tiers\":[", self.interval_ns);
+        for (i, t) in ALL_TIERS.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", t.name());
+        }
+        out.push_str("],\"times_ns\":[");
+        for (i, t) in self.times_ns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{t}");
+        }
+        out.push_str("],\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, u) in row.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{u}");
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
 /// Everything the engine knows at the moment a batch launches, handed
 /// to [`ObsRecorder::on_launch`] as one unit.
 #[derive(Debug, Clone, Copy)]
@@ -667,6 +807,26 @@ mod tests {
         assert_eq!(events[4]["name"].as_str(), Some("queue_wait"));
         assert_eq!(events[4]["ph"].as_str(), Some("b"));
         assert_eq!(events[6]["dur"].as_str(), Some("2.000"));
+    }
+
+    #[test]
+    fn link_util_series_rows_land_on_the_grid() {
+        let mut s = LinkUtilSeries::new(1_000);
+        // Access tier: 2 links, 1500 ns of cumulative busy by t=2500 —
+        // first interval fully busy on one link's worth, then a quarter.
+        s.advance(2_500, &[(1_500, 2), (0, 4), (0, 0)]);
+        assert_eq!(s.times_ns(), &[1_000, 2_000]);
+        // All 1500 ns of busy land in the first row (charged at enqueue).
+        assert_eq!(s.rows()[0], [1_500.0 / 2_000.0, 0.0, 0.0]);
+        assert_eq!(s.rows()[1], [0.0, 0.0, 0.0]);
+        s.advance(3_000, &[(1_900, 2), (400, 4), (0, 0)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.rows()[2], [400.0 / 2_000.0, 400.0 / 4_000.0, 0.0]);
+        assert_eq!(s.peak()[0], 0.75);
+        let json = s.to_json();
+        let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        assert_eq!(parsed["tiers"][0].as_str(), Some("access"));
+        assert_eq!(parsed["rows"].as_array().map(Vec::len), Some(3));
     }
 
     #[test]

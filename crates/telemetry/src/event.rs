@@ -54,10 +54,20 @@ pub enum Event {
     /// The SLO burn-rate monitor opened a violation window (`inca-serve`
     /// observability, DESIGN.md §11).
     ServeSloViolation,
+    /// A packet accepted into a link's drop-tail queue (`inca-net`,
+    /// one count per hop the packet traverses).
+    NetPacketEnqueued,
+    /// A packet dropped at a full link queue (`inca-net`).
+    NetPacketDropped,
+    /// A packet CE-marked by an ECN queue above its threshold
+    /// (`inca-net`).
+    NetEcnMarked,
+    /// A flow fully acknowledged at its sender (`inca-net`).
+    NetFlowCompleted,
 }
 
 /// Number of distinct events (size of a counter block).
-pub const EVENT_COUNT: usize = 17;
+pub const EVENT_COUNT: usize = 21;
 
 /// All events, in counter-slot order.
 pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
@@ -78,6 +88,10 @@ pub const ALL_EVENTS: [Event; EVENT_COUNT] = [
     Event::ServeBatchLaunched,
     Event::ServeReprogramSwitch,
     Event::ServeSloViolation,
+    Event::NetPacketEnqueued,
+    Event::NetPacketDropped,
+    Event::NetEcnMarked,
+    Event::NetFlowCompleted,
 ];
 
 impl Event {
@@ -108,6 +122,10 @@ impl Event {
             Event::ServeBatchLaunched => "serve_batches_launched",
             Event::ServeReprogramSwitch => "serve_reprogram_switches",
             Event::ServeSloViolation => "serve_slo_violations",
+            Event::NetPacketEnqueued => "net_packets_enqueued",
+            Event::NetPacketDropped => "net_packets_dropped",
+            Event::NetEcnMarked => "net_ecn_marked",
+            Event::NetFlowCompleted => "net_flows_completed",
         }
     }
 }

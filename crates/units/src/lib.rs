@@ -14,7 +14,10 @@
 //!   (J/mm²) produced by the `/ Area` quotients,
 //! * explicit rate types [`EnergyPerBit`] and [`EnergyPerBeat`] for
 //!   per-transfer costs, which multiply with bare counts back into
-//!   [`Energy`].
+//!   [`Energy`],
+//! * [`Bandwidth`] (bits/s) for the `inca-net` link model, whose
+//!   [`Bandwidth::transfer_time`] quotient yields the serialization
+//!   [`Time`] of a sized packet.
 //!
 //! The arithmetic is dimension-checked: `Energy / Time → Power`,
 //! `Power × Time → Energy`, `Energy / Area → EnergyDensity`, and the
@@ -276,6 +279,19 @@ scalar_unit!(
 );
 
 scalar_unit!(
+    /// A link bandwidth, stored in bits per second.
+    ///
+    /// Dividing a bare bit count by a bandwidth
+    /// ([`Bandwidth::transfer_time`]) yields the serialization [`Time`],
+    /// and `Bandwidth × Time` yields the bare bit count that fits in the
+    /// window — the two operations `inca-net` builds its link model on.
+    Bandwidth,
+    from_bits_per_sec,
+    bits_per_sec,
+    "bits per second"
+);
+
+scalar_unit!(
     /// A per-transferred-bit energy cost, stored in J/bit.
     ///
     /// Multiplying by a bare bit count (`f64 * EnergyPerBit` or
@@ -297,7 +313,7 @@ scalar_unit!(
     "joules per beat"
 );
 
-scalar_scaling!(Energy, Time, Power, Area, Frequency, PowerDensity, EnergyDensity);
+scalar_scaling!(Energy, Time, Power, Area, Frequency, PowerDensity, EnergyDensity, Bandwidth);
 
 impl Energy {
     /// The value in millijoules.
@@ -338,6 +354,42 @@ impl Frequency {
     #[must_use]
     pub fn period(&self) -> Time {
         Time(1.0 / self.0)
+    }
+}
+
+impl Bandwidth {
+    /// Wraps a rate expressed in gigabits per second.
+    #[must_use]
+    pub const fn from_gbps(gbps: f64) -> Self {
+        Self(gbps * 1e9)
+    }
+
+    /// The value in gigabits per second.
+    #[must_use]
+    pub fn gbps(&self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Serialization time of `bits` bits onto a link at this rate.
+    #[must_use]
+    pub fn transfer_time(&self, bits: u64) -> Time {
+        Time(bits as f64 / self.0)
+    }
+}
+
+/// `Bandwidth × Time → bits` (the bare bit count that fits in the window).
+impl std::ops::Mul<Time> for Bandwidth {
+    type Output = f64;
+    fn mul(self, rhs: Time) -> f64 {
+        self.0 * rhs.0
+    }
+}
+
+/// `Time × Bandwidth → bits`.
+impl std::ops::Mul<Bandwidth> for Time {
+    type Output = f64;
+    fn mul(self, rhs: Bandwidth) -> f64 {
+        self.0 * rhs.0
     }
 }
 
@@ -500,6 +552,17 @@ mod tests {
         assert_eq!(f.period().seconds(), 1.0 / 2.1e9);
         assert_eq!(f.period().frequency().hertz(), 1.0 / (1.0 / 2.1e9));
         assert_eq!(f.gigahertz(), 2.1);
+    }
+
+    #[test]
+    fn bandwidth_serialization_time() {
+        let bw = Bandwidth::from_gbps(40.0);
+        assert_eq!(bw.bits_per_sec(), 40e9);
+        assert_eq!(bw.gbps(), 40.0);
+        // 4 KB at 40 Gb/s serializes in 819.2 ns.
+        assert_eq!(bw.transfer_time(4096 * 8).seconds(), 4096.0 * 8.0 / 40e9);
+        // A 1 µs window at 40 Gb/s carries 40k bits.
+        assert_eq!(bw * Time::from_seconds(1e-6), 40e9 * 1e-6);
     }
 
     #[test]
