@@ -1,13 +1,19 @@
 //! `obs_diff` — artifact regression gate. Compares two runs of the same
-//! reproducible artifact (`SERVE_report.json`, `NET_report.json`, or
-//! `BENCH_hw_exec.json`) and exits non-zero when a headline metric
-//! regressed past a configurable threshold, so CI can hold the line
-//! against committed baselines instead of eyeballing diffs.
+//! reproducible artifact (`SERVE_report.json`, `NET_report.json`,
+//! `BENCH_hw_exec.json`, or `LINT_report.json`) and exits non-zero when
+//! a headline metric regressed past a configurable threshold, so CI can
+//! hold the line against committed baselines instead of eyeballing
+//! diffs.
 //!
 //! Serve and fleet (`NET`) reports share the sweep shape and gate the
 //! same way — per-backend sustainable load may not fall, per-point p99
 //! may not rise, throughput may not fall — with the fleet's
 //! `sustainable_rps_per_rack` headline gated on top.
+//!
+//! Lint reports gate on exact integers, ignoring `--threshold`: per-rule
+//! violation and waiver counts may not rise above the baseline, rules
+//! may not disappear, and `parse_fallback` may not grow. Burning counts
+//! *down* passes (and prints a reminder to refresh the baseline).
 //!
 //! ```text
 //! obs_diff [--threshold F] [--inject-p99 FACTOR] BASELINE.json CURRENT.json
@@ -150,6 +156,56 @@ fn diff_serve(base: &Value, cur: &Value, gate: &mut Gate, inject_p99: f64) {
     }
 }
 
+/// Compares two `inca-lint` reports. Counts are exact integers with no
+/// tolerance: static-analysis regressions are discrete events, and a
+/// zero baseline (the steady state for `violations`) must still gate —
+/// `Gate::check`'s relative bounds treat zero baselines as "no
+/// information", so this path bypasses it entirely.
+fn diff_lint(base: &Value, cur: &Value, gate: &mut Gate) {
+    fn check_int(gate: &mut Gate, label: &str, b: Option<u64>, c: Option<u64>) {
+        let (Some(b), Some(c)) = (b, c) else {
+            gate.failures += 1;
+            eprintln!("obs_diff: REGRESSION {label}: count missing (baseline {b:?}, current {c:?})");
+            return;
+        };
+        gate.compared += 1;
+        if c > b {
+            gate.failures += 1;
+            eprintln!("obs_diff: REGRESSION {label}: {c} vs baseline {b}");
+        } else {
+            eprintln!("obs_diff: ok {label}: {c} vs baseline {b}");
+            if c < b {
+                eprintln!("obs_diff: note {label} improved ({b} -> {c}); refresh the committed baseline");
+            }
+        }
+    }
+    let count = |v: &Value| v.as_u64();
+    let empty = Vec::new();
+    check_int(gate, "parse_fallback", count(&base["parse_fallback"]), count(&cur["parse_fallback"]));
+    for br in base["rules"].as_array().unwrap_or(&empty) {
+        let rule = br["rule"].as_str().unwrap_or("?");
+        let Some(cr) =
+            cur["rules"].as_array().and_then(|arr| arr.iter().find(|c| c["rule"].as_str() == Some(rule)))
+        else {
+            gate.failures += 1;
+            eprintln!("obs_diff: REGRESSION rule {rule} missing from current report");
+            continue;
+        };
+        check_int(gate, &format!("{rule}.violations"), count(&br["violations"]), count(&cr["violations"]));
+        check_int(gate, &format!("{rule}.waived"), count(&br["waived"]), count(&cr["waived"]));
+    }
+    // New rules in the current report are fine (the linter grew); note
+    // them so the baseline gets refreshed to start gating them too.
+    for cr in cur["rules"].as_array().unwrap_or(&empty) {
+        let rule = cr["rule"].as_str().unwrap_or("?");
+        let known =
+            base["rules"].as_array().is_some_and(|arr| arr.iter().any(|b| b["rule"].as_str() == Some(rule)));
+        if !known {
+            eprintln!("obs_diff: note new rule {rule} absent from baseline; refresh it to gate the rule");
+        }
+    }
+}
+
 /// Compares two `hw_exec` bench artifacts on their headline ratios.
 fn diff_bench(base: &Value, cur: &Value, gate: &mut Gate) {
     for engine in ["hw_conv", "hw_batch_conv"] {
@@ -235,7 +291,14 @@ fn main() -> ExitCode {
     };
 
     let mut gate = Gate::new(threshold);
-    let kind = if base["report"].as_str().is_some() && base["backends"].as_array().is_some() {
+    let kind = if base["report"].as_str() == Some("inca-lint") {
+        if cur["report"].as_str() != Some("inca-lint") {
+            eprintln!("obs_diff: artifacts disagree on report kind");
+            return ExitCode::from(2);
+        }
+        diff_lint(&base, &cur, &mut gate);
+        "lint report"
+    } else if base["report"].as_str().is_some() && base["backends"].as_array().is_some() {
         if cur["report"].as_str() != base["report"].as_str() {
             eprintln!("obs_diff: artifacts disagree on report kind");
             return ExitCode::from(2);

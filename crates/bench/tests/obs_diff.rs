@@ -138,3 +138,78 @@ fn gate_accepts_the_committed_artifacts_against_themselves() {
         assert_eq!(status.code(), Some(0), "{artifact} failed to self-compare");
     }
 }
+
+/// A minimal lint report with two rules plus a parse-fallback count.
+fn lint_report(parse_fallback: u32, det_violations: u32, panic_waived: u32, drop_rule: bool) -> String {
+    let panic_rule = if drop_rule {
+        String::new()
+    } else {
+        format!(",\n    {{\"rule\": \"panic-path\", \"violations\": 0, \"waived\": {panic_waived}}}")
+    };
+    format!(
+        r#"{{
+  "report": "inca-lint",
+  "files_scanned": 10,
+  "parse_fallback": {parse_fallback},
+  "rules": [
+    {{"rule": "determinism", "violations": {det_violations}, "waived": 1}}{panic_rule}
+  ],
+  "violations": [],
+  "waived": []
+}}"#
+    )
+}
+
+#[test]
+fn identical_lint_reports_pass() {
+    let a = temp_artifact("lint_ident_a.json", &lint_report(0, 0, 3, false));
+    let b = temp_artifact("lint_ident_b.json", &lint_report(0, 0, 3, false));
+    let status = bin().arg(&a).arg(&b).status().unwrap();
+    assert_eq!(status.code(), Some(0), "identical lint reports must pass");
+}
+
+#[test]
+fn lint_violation_increase_from_zero_baseline_fails() {
+    // The relative gate ignores zero baselines; the lint path must not.
+    let base = temp_artifact("lint_zero_base.json", &lint_report(0, 0, 3, false));
+    let cur = temp_artifact("lint_zero_cur.json", &lint_report(0, 1, 3, false));
+    let status = bin().arg(&base).arg(&cur).status().unwrap();
+    assert_eq!(status.code(), Some(1), "0 -> 1 violations must fail even though the baseline is zero");
+}
+
+#[test]
+fn lint_waiver_and_fallback_increases_fail_but_decreases_pass() {
+    let base = temp_artifact("lint_wf_base.json", &lint_report(1, 0, 3, false));
+    let more_waivers = temp_artifact("lint_wf_waiv.json", &lint_report(1, 0, 4, false));
+    let status = bin().arg(&base).arg(&more_waivers).status().unwrap();
+    assert_eq!(status.code(), Some(1), "new waivers must force a deliberate baseline refresh");
+
+    let more_fallback = temp_artifact("lint_wf_fall.json", &lint_report(2, 0, 3, false));
+    let status = bin().arg(&base).arg(&more_fallback).status().unwrap();
+    assert_eq!(status.code(), Some(1), "a file falling out of the parser must fail");
+
+    let improved = temp_artifact("lint_wf_better.json", &lint_report(0, 0, 2, false));
+    let status = bin().arg(&base).arg(&improved).status().unwrap();
+    assert_eq!(status.code(), Some(0), "burning counts down passes");
+}
+
+#[test]
+fn lint_missing_rule_fails_and_new_rule_passes() {
+    let two_rules = temp_artifact("lint_rules_base.json", &lint_report(0, 0, 3, false));
+    let one_rule = temp_artifact("lint_rules_cur.json", &lint_report(0, 0, 3, true));
+    let status = bin().arg(&two_rules).arg(&one_rule).status().unwrap();
+    assert_eq!(status.code(), Some(1), "a rule vanishing from the report must fail");
+
+    // The reverse — the current report grew a rule — is fine.
+    let status = bin().arg(&one_rule).arg(&two_rules).status().unwrap();
+    assert_eq!(status.code(), Some(0), "a new rule absent from the baseline must not fail");
+}
+
+#[test]
+fn committed_lint_baseline_self_compares_clean() {
+    // The committed baseline must be a valid lint report the gate can
+    // parse and pass against itself (CI diffs fresh runs against it).
+    let baseline = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/baselines/LINT_report.json");
+    let status = bin().arg(&baseline).arg(&baseline).status().unwrap();
+    assert_eq!(status.code(), Some(0), "baseline must self-compare clean");
+}

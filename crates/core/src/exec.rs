@@ -138,6 +138,10 @@ impl ExecPolicy {
 }
 
 /// `available_parallelism`, defaulting to 1 where the host won't say.
+// The worker count only partitions index-keyed work: every parallel
+// entry point collects results in index order, so sweep artifacts are
+// byte-identical at any thread count (proptested in the exec and sweep
+// suites). lint: allow(determinism-taint)
 #[must_use]
 pub fn available_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)

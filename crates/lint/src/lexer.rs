@@ -97,7 +97,14 @@ pub fn lex(src: &str) -> Lexed {
                     i += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
-                collect_waivers(&text, line, &mut out.waivers);
+                // Doc comments (`///`, `//!`) *describe* code — a
+                // waiver-syntax example inside one must not register as
+                // a real waiver (the stale-waiver rule would then flag
+                // every doc mention of the syntax).
+                let is_doc = matches!(bytes.get(start + 2), Some('/' | '!'));
+                if !is_doc {
+                    collect_waivers(&text, line, &mut out.waivers);
+                }
                 if text.contains("SAFETY:") {
                     out.safety_lines.insert(line);
                 }

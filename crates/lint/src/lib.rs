@@ -1,38 +1,50 @@
 //! `inca-lint`: a self-contained static analyzer for the INCA workspace.
 //!
-//! Six rules guard the invariants the dimensional-correctness layer
-//! introduced (see `DESIGN.md` §10):
+//! The pipeline (see `DESIGN.md` §10) runs in five stages:
 //!
-//! 1. **raw-unit** — public unit-suffixed API must use `inca-units`
-//!    newtypes, not bare floats.
-//! 2. **determinism** — `inca-sim`/`inca-serve`/`inca-net` must not
-//!    read wall clocks or OS entropy, and report paths must not
-//!    iterate unordered `HashMap`s.
-//! 3. **panic-path** — no `unwrap`/`expect`/`panic!` in non-test
-//!    library code.
-//! 4. **telemetry-ownership** — `record(Event::…)` call sites must
-//!    live in the event's owning crate per the DESIGN.md map.
-//! 5. **safety-comment** — every non-test `unsafe { … }` block must
-//!    carry a `// SAFETY:` comment on the same line or within the
-//!    three lines above it.
-//! 6. **event-coverage** — every telemetry `Event` variant must have
-//!    an owner line in the DESIGN.md map.
+//! 1. **lex** (`lexer`) — tokens, waiver comments, `// SAFETY:` lines;
+//! 2. **parse** (`ast`) — an item-level AST per file (fns, impls,
+//!    structs, enums, use-trees) with error recovery; files the parser
+//!    cannot handle fall back to token rules and are counted in the
+//!    report's `parse_fallback` field;
+//! 3. **per-file rules** (`rules`) — `raw-unit`, `determinism` (AST
+//!    mode with token fallback), `panic-path`, `telemetry-ownership`,
+//!    `safety-comment`, `event-coverage`;
+//! 4. **workspace semantics** (`symbols`, `callgraph`, `taint`) — a
+//!    symbol table over every crate, a conservative call graph, and the
+//!    `determinism-taint` pass that propagates nondeterminism sources
+//!    to report-serialization sinks, printing full source → sink call
+//!    chains;
+//! 5. **waiver audit** (`rules::check_stale_waivers`) — the global
+//!    `stale-waiver` rule flags `lint: allow(..)` comments that no
+//!    longer suppress anything.
 //!
-//! The analyzer is dependency-free: a hand-rolled lexer (`lexer`), a
-//! rule engine over the token stream (`rules`) and a stable JSON
-//! emitter (`report`). Run it with `cargo run -p inca-lint`; it exits
-//! non-zero when any unwaived violation exists.
+//! The analyzer is dependency-free and deterministic: file scanning can
+//! be parallelized with `--workers N` (contiguous chunks, index-ordered
+//! collection), and the emitted `LINT_report.json`/SARIF artifacts are
+//! byte-identical for any worker count. Run it with
+//! `cargo run -p inca-lint`; it exits non-zero when any unwaived
+//! violation exists.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ast;
+pub mod callgraph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod symbols;
+pub mod taint;
 
 use std::path::{Path, PathBuf};
 
+use ast::Ast;
+use callgraph::CallGraph;
+use lexer::{Lexed, Token};
 use rules::{Finding, OwnershipMap, SourceFile};
+use symbols::SymbolTable;
 
 /// Everything one lint run produces.
 pub struct LintRun {
@@ -40,6 +52,8 @@ pub struct LintRun {
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Files whose AST had parse errors, analyzed with token rules only.
+    pub parse_fallback: usize,
 }
 
 impl LintRun {
@@ -92,7 +106,31 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
     Ok(())
 }
 
-/// Runs all six rules over the workspace at `root`.
+/// Order-preserving parallel map over contiguous chunks: chunk `k` of
+/// the input produces chunk `k` of the output, so the result is
+/// byte-identical to the sequential map for any worker count.
+fn par_map<T: Sync, R: Send>(items: &[T], workers: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let workers = workers.clamp(1, items.len().max(1));
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let f = &f;
+    let mut out: Vec<R> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> =
+            items.chunks(chunk).map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>())).collect();
+        for h in handles {
+            match h.join() {
+                Ok(v) => out.extend(v),
+                Err(p) => std::panic::resume_unwind(p),
+            }
+        }
+    });
+    out
+}
+
+/// Runs the full pipeline over the workspace at `root` with one worker.
 ///
 /// `owners` is `None` when no ownership map is available (the
 /// telemetry-ownership rule is then skipped).
@@ -101,28 +139,74 @@ fn walk_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
 ///
 /// Returns a message if the source tree cannot be read.
 pub fn run(root: &Path, owners: Option<&OwnershipMap>) -> Result<LintRun, String> {
+    run_with_workers(root, owners, 1)
+}
+
+/// Runs the full pipeline with `workers` threads for the per-file
+/// stages (lex/parse and rule checks). The workspace-semantic passes
+/// (symbol table, call graph, taint, stale-waiver audit) are cheap and
+/// stay sequential; output is byte-identical for any worker count.
+///
+/// # Errors
+///
+/// Returns a message if the source tree cannot be read.
+pub fn run_with_workers(
+    root: &Path,
+    owners: Option<&OwnershipMap>,
+    workers: usize,
+) -> Result<LintRun, String> {
     let sources = collect_sources(root)?;
-    let mut findings = Vec::new();
     let files_scanned = sources.len();
+
+    // Stage 1+2: read, lex, parse — per-file, parallel.
+    let mut inputs: Vec<(String, String, String, String)> = Vec::with_capacity(sources.len());
     for (crate_name, path) in sources {
         let src =
             std::fs::read_to_string(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
         let file_name = path.file_name().and_then(|n| n.to_str()).unwrap_or_default().to_string();
-        let file = SourceFile::new(&rel, &crate_name, &file_name, &src);
-        rules::check_raw_unit(&file, &mut findings);
-        rules::check_determinism(&file, &mut findings);
-        rules::check_panic_path(&file, &mut findings);
-        rules::check_safety_comment(&file, &mut findings);
+        inputs.push((crate_name, rel, file_name, src));
+    }
+    let files: Vec<SourceFile> = par_map(&inputs, workers, |(crate_name, rel, file_name, src)| {
+        SourceFile::new(rel, crate_name, file_name, src)
+    });
+    let parse_fallback = files.iter().filter(|f| !f.ast.is_clean()).count();
+
+    // Workspace symbols and call graph (partial ASTs of fallback files
+    // still contribute the items parsed before the first error).
+    let meta: Vec<(String, String)> =
+        files.iter().map(|f| (f.crate_name.clone(), f.rel_path.clone())).collect();
+    let pairs: Vec<(&Ast, &[Token])> = files.iter().map(|f| (&f.ast, f.lexed.tokens.as_slice())).collect();
+    let table = SymbolTable::build(&meta, &pairs);
+    let streams: Vec<&[Token]> = files.iter().map(|f| f.lexed.tokens.as_slice()).collect();
+    let graph = CallGraph::build(&table, &streams);
+
+    // Stage 3: per-file rules — parallel, index-ordered.
+    let per_file: Vec<Vec<Finding>> = par_map(&files, workers, |file| {
+        let mut out = Vec::new();
+        rules::check_raw_unit(file, &mut out);
+        rules::check_determinism(file, Some(&table), &mut out);
+        rules::check_panic_path(file, &mut out);
+        rules::check_safety_comment(file, &mut out);
         if let Some(map) = owners {
-            rules::check_telemetry_ownership(&file, map, &mut findings);
+            rules::check_telemetry_ownership(file, map, &mut out);
             if file.crate_name == "telemetry" && file.file_name == "event.rs" {
-                rules::check_event_coverage(&file, map, &mut findings);
+                rules::check_event_coverage(file, map, &mut out);
             }
         }
-    }
+        out
+    });
+    let mut findings: Vec<Finding> = per_file.into_iter().flatten().collect();
+
+    // Stage 4: the determinism taint pass (workspace-global).
+    let lexeds: Vec<&Lexed> = files.iter().map(|f| &f.lexed).collect();
+    taint::run(&table, &graph, &streams, &lexeds, &mut findings);
+
+    // Stage 5: the stale-waiver audit sees every finding above.
+    rules::check_stale_waivers(&files, &mut findings);
+
     findings.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
-    Ok(LintRun { findings, files_scanned })
+    Ok(LintRun { findings, files_scanned, parse_fallback })
 }
 
 /// Loads the telemetry ownership map from a DESIGN.md-style file.

@@ -1,12 +1,15 @@
 //! The `inca-lint` command line.
 //!
 //! ```text
-//! inca-lint [--root DIR] [--ownership FILE] [--report FILE] [--quiet]
+//! inca-lint [--root DIR] [--ownership FILE] [--report FILE]
+//!           [--sarif FILE] [--workers N] [--quiet]
 //! ```
 //!
 //! Scans `crates/*/src/**/*.rs` under `--root` (default: the current
-//! directory), prints findings, optionally writes `LINT_report.json`,
-//! and exits 1 if any unwaived violation remains.
+//! directory), prints findings, optionally writes `LINT_report.json`
+//! and a SARIF 2.1.0 artifact, and exits 1 if any unwaived violation
+//! remains. `--workers 0` sizes the thread pool to the host; the
+//! emitted artifacts are byte-identical for any worker count.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,6 +18,8 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut ownership: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut workers = 1usize;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -32,6 +37,15 @@ fn main() -> ExitCode {
                 Some(v) => report_path = Some(PathBuf::from(v)),
                 None => return usage("--report needs a file"),
             },
+            "--sarif" => match args.next() {
+                Some(v) => sarif_path = Some(PathBuf::from(v)),
+                None => return usage("--sarif needs a file"),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(0) => workers = std::thread::available_parallelism().map_or(1, usize::from),
+                Some(n) => workers = n,
+                None => return usage("--workers needs a non-negative integer"),
+            },
             "--quiet" => quiet = true,
             "--help" | "-h" => return usage(""),
             other => return usage(&format!("unknown argument `{other}`")),
@@ -47,7 +61,7 @@ fn main() -> ExitCode {
         );
     }
 
-    let run = match inca_lint::run(&root, owners.as_ref()) {
+    let run = match inca_lint::run_with_workers(&root, owners.as_ref(), workers) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("inca-lint: {e}");
@@ -63,16 +77,24 @@ fn main() -> ExitCode {
         }
         let waived = run.findings.len() - violations.len();
         println!(
-            "inca-lint: {} files, {} violation(s), {} waived",
+            "inca-lint: {} files, {} violation(s), {} waived, {} parse fallback(s)",
             run.files_scanned,
             violations.len(),
-            waived
+            waived,
+            run.parse_fallback
         );
     }
 
     if let Some(path) = report_path {
-        let json = inca_lint::report::render(&run.findings, run.files_scanned);
+        let json = inca_lint::report::render(&run.findings, run.files_scanned, run.parse_fallback);
         if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("inca-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = sarif_path {
+        let doc = inca_lint::sarif::render(&run.findings);
+        if let Err(e) = std::fs::write(&path, doc) {
             eprintln!("inca-lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }
@@ -89,7 +111,9 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("inca-lint: {err}");
     }
-    eprintln!("usage: inca-lint [--root DIR] [--ownership FILE] [--report FILE] [--quiet]");
+    eprintln!(
+        "usage: inca-lint [--root DIR] [--ownership FILE] [--report FILE] [--sarif FILE] [--workers N] [--quiet]"
+    );
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

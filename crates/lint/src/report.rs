@@ -7,8 +7,16 @@
 use crate::rules::Finding;
 
 /// The rules in report order.
-pub const RULES: [&str; 6] =
-    ["raw-unit", "determinism", "panic-path", "telemetry-ownership", "safety-comment", "event-coverage"];
+pub const RULES: [&str; 8] = [
+    "raw-unit",
+    "determinism",
+    "determinism-taint",
+    "panic-path",
+    "telemetry-ownership",
+    "safety-comment",
+    "event-coverage",
+    "stale-waiver",
+];
 
 /// Escapes a string for inclusion in a JSON document.
 fn esc(s: &str) -> String {
@@ -37,12 +45,15 @@ fn finding_json(f: &Finding, indent: &str) -> String {
 }
 
 /// Renders the full report. `findings` must already be sorted.
+/// `parse_fallback` counts files the parser could not fully handle
+/// (analyzed with token rules only).
 #[must_use]
-pub fn render(findings: &[Finding], files_scanned: usize) -> String {
+pub fn render(findings: &[Finding], files_scanned: usize, parse_fallback: usize) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"report\": \"inca-lint\",\n");
     s.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    s.push_str(&format!("  \"parse_fallback\": {parse_fallback},\n"));
 
     s.push_str("  \"rules\": [\n");
     for (i, rule) in RULES.iter().enumerate() {
@@ -90,9 +101,10 @@ mod tests {
                 waived: true,
             },
         ];
-        let json = render(&findings, 1);
+        let json = render(&findings, 1, 0);
         assert!(json.contains("\"rule\": \"panic-path\", \"violations\": 1, \"waived\": 1"));
         assert!(json.contains("\"files_scanned\": 1"));
+        assert!(json.contains("\"parse_fallback\": 0"));
         // All rules present even when empty.
         for rule in RULES {
             assert!(json.contains(&format!("\"rule\": \"{rule}\"")), "{rule}");

@@ -1,11 +1,16 @@
-//! The six lint rules.
+//! The per-file lint rules (plus the global `stale-waiver` pass).
 //!
 //! * `raw-unit` (L1) — public items whose names carry a unit suffix
 //!   (`_j`, `_s`, `_pj`, `_mm2`, `_hz`) must be typed with an
 //!   `inca-units` newtype, not a bare `f64`/`f32`.
 //! * `determinism` (L2) — report-producing crates (`inca-sim`,
 //!   `inca-serve`, `inca-net`) must not read wall clocks or entropy, and
-//!   report-path modules must not iterate unordered `HashMap`s.
+//!   report-path modules must not iterate hash-ordered collections.
+//!   When the file parses cleanly this runs in *semantic* mode over the
+//!   AST + symbol table (covers `use .. as ..` aliases and local `let`
+//!   rebindings of hash-typed fields, honors the sort-before-serialize
+//!   sanitizer); otherwise it falls back to the original token rule
+//!   (any `HashMap` mention) and the file counts as a parse fallback.
 //! * `panic-path` (L3) — library code must not call `unwrap`/`expect`
 //!   or invoke `panic!`-family macros outside `#[cfg(test)]`.
 //! * `telemetry-ownership` (L4) — `record(Event::…)`/`incr(Event::…)`
@@ -17,6 +22,10 @@
 //! * `event-coverage` (L6) — every variant of the telemetry `Event`
 //!   enum must have an owner line in the DESIGN.md map; a new event
 //!   without one would dodge L4 entirely.
+//! * `stale-waiver` (L8, global) — every `// lint: allow(rule)` comment
+//!   must still suppress at least one finding (of any rule, including
+//!   the `determinism-taint` pass in `taint.rs`, which is L7); a waiver
+//!   that no longer bites is dead documentation and must be removed.
 //!
 //! Every rule is waivable per line with `// lint: allow(rule-name)` —
 //! on the offending line or the line directly above. Waived findings
@@ -26,6 +35,8 @@ use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
 use crate::lexer::{Lexed, Token};
+use crate::symbols::SymbolTable;
+use crate::taint::SourceKind;
 
 /// The `inca-units` newtype names L1 accepts as "typed".
 const UNIT_TYPES: [&str; 9] = [
@@ -71,20 +82,25 @@ pub struct SourceFile {
     pub lexed: Lexed,
     /// Token indices inside `#[cfg(test)]` items (excluded from rules).
     pub test_mask: Vec<bool>,
+    /// Item-level AST; `!ast.is_clean()` means the semantic passes fall
+    /// back to token rules for this file (counted as a parse fallback).
+    pub ast: crate::ast::Ast,
 }
 
 impl SourceFile {
-    /// Lexes `src` and computes the `#[cfg(test)]` mask.
+    /// Lexes and parses `src` and computes the `#[cfg(test)]` mask.
     #[must_use]
     pub fn new(rel_path: &str, crate_name: &str, file_name: &str, src: &str) -> Self {
         let lexed = crate::lexer::lex(src);
         let test_mask = cfg_test_mask(&lexed.tokens);
+        let ast = crate::ast::parse(&lexed.tokens);
         Self {
             rel_path: rel_path.to_string(),
             crate_name: crate_name.to_string(),
             file_name: file_name.to_string(),
             lexed,
             test_mask,
+            ast,
         }
     }
 
@@ -314,7 +330,18 @@ fn field_type(toks: &[Token], i: usize) -> Vec<String> {
 }
 
 /// L2: determinism in report-producing crates.
-pub fn check_determinism(file: &SourceFile, out: &mut Vec<Finding>) {
+///
+/// Clock/entropy idents are flagged from the token stream in both
+/// modes (they are unambiguous wherever they appear, `use` lines
+/// included). The hash-collection check depends on the mode:
+///
+/// * **semantic** (`table` present and the file parsed cleanly) —
+///   only *iteration* of a hash-typed value is flagged, resolved
+///   through `use .. as ..` aliases, struct fields and `let`
+///   rebindings, with the sort-before-serialize sanitizer honored;
+/// * **token fallback** — any `HashMap` mention on a report path, the
+///   original coarse rule (aliases invisible, declarations flagged).
+pub fn check_determinism(file: &SourceFile, table: Option<&SymbolTable>, out: &mut Vec<Finding>) {
     if file.crate_name != "sim" && file.crate_name != "serve" && file.crate_name != "net" {
         return;
     }
@@ -338,15 +365,94 @@ pub fn check_determinism(file: &SourceFile, out: &mut Vec<Finding>) {
                 t.line,
                 format!("`{id}` draws OS entropy; use a seeded `StdRng` stream instead"),
             ),
-            "HashMap" if report_path => file.push(
-                out,
-                "determinism",
-                t.line,
-                "`HashMap` iteration order is unspecified; report paths must use `BTreeMap` or sort before emitting".to_string(),
-            ),
             _ => {}
         }
     }
+    if !report_path {
+        return;
+    }
+    match table {
+        Some(table) if file.ast.is_clean() => {
+            for info in table.fns.iter().filter(|f| f.file == file.rel_path && !f.cfg_test) {
+                let Some(body) = info.body else { continue };
+                let sites = crate::taint::fn_sources(
+                    table,
+                    toks,
+                    info.sig,
+                    body,
+                    info.container.as_deref(),
+                    &file.lexed,
+                );
+                for s in sites.found {
+                    if s.kind == SourceKind::HashIter {
+                        file.push(
+                            out,
+                            "determinism",
+                            s.line,
+                            format!("{}; report paths must use `BTreeMap` or sort before emitting", s.desc),
+                        );
+                    }
+                }
+            }
+        }
+        _ => {
+            for (idx, t) in toks.iter().enumerate() {
+                if file.test_mask[idx] {
+                    continue;
+                }
+                if t.ident() == Some("HashMap") {
+                    file.push(
+                        out,
+                        "determinism",
+                        t.line,
+                        "`HashMap` iteration order is unspecified; report paths must use `BTreeMap` or sort before emitting".to_string(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// L8 (global, runs last): flags `// lint: allow(rule)` comments that
+/// no longer suppress any finding.
+///
+/// A waiver at line `L` covers findings at `L` and `L + 1` (see
+/// [`Lexed::is_waived`]); it is *live* iff some waived finding of the
+/// named rule sits in that window. Dead waivers are documentation debt:
+/// they claim an exemption that the code no longer needs, and they
+/// would silently re-arm if the finding ever came back shifted by a
+/// line. `stale-waiver` waivers themselves are exempt from the
+/// recursion (a waiver for this rule marks an intentionally-kept
+/// waiver, e.g. one covering generated code that toggles).
+pub fn check_stale_waivers(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let mut extra = Vec::new();
+    for file in files {
+        for (&line, rules) in &file.lexed.waivers {
+            for rule in rules {
+                if rule == "stale-waiver" {
+                    continue;
+                }
+                let live = findings.iter().any(|f| {
+                    f.waived
+                        && f.rule == rule
+                        && f.file == file.rel_path
+                        && (f.line == line || f.line == line + 1)
+                });
+                if !live {
+                    extra.push(Finding {
+                        rule: "stale-waiver",
+                        file: file.rel_path.clone(),
+                        line,
+                        message: format!(
+                            "`lint: allow({rule})` no longer suppresses any finding; remove the waiver"
+                        ),
+                        waived: file.lexed.is_waived("stale-waiver", line),
+                    });
+                }
+            }
+        }
+    }
+    findings.extend(extra);
 }
 
 /// L3: no panic paths in non-test library code.
@@ -620,14 +726,28 @@ mod tests {
         assert!(run(check_raw_unit, "units", "lib.rs", src).is_empty());
     }
 
+    fn run_det(crate_name: &str, file_name: &str, src: &str, table: Option<&SymbolTable>) -> Vec<Finding> {
+        let f = SourceFile::new(&format!("crates/x/src/{file_name}"), crate_name, file_name, src);
+        let mut out = Vec::new();
+        check_determinism(&f, table, &mut out);
+        out
+    }
+
+    fn table_for(file: &SourceFile) -> SymbolTable {
+        let files = vec![(file.crate_name.clone(), file.rel_path.clone())];
+        let pairs = vec![(&file.ast, file.lexed.tokens.as_slice())];
+        SymbolTable::build(&files, &pairs)
+    }
+
     #[test]
     fn determinism_flags_clock_entropy_and_report_hashmap() {
+        // Token fallback mode (no symbol table): any HashMap mention.
         let src = "
             use std::time::Instant;
             fn seed() { let r = rand::thread_rng(); }
             fn report() { let m: HashMap<u32, u32> = HashMap::new(); }
         ";
-        let f = run(check_determinism, "sim", "report.rs", src);
+        let f = run_det("sim", "report.rs", src, None);
         assert!(f.iter().any(|v| v.message.contains("Instant")));
         assert!(f.iter().any(|v| v.message.contains("thread_rng")));
         assert!(f.iter().any(|v| v.message.contains("HashMap")));
@@ -636,8 +756,107 @@ mod tests {
     #[test]
     fn determinism_allows_hashmap_off_report_paths_and_other_crates() {
         let src = "fn cache() { let m: HashMap<u32, u32> = HashMap::new(); }";
-        assert!(run(check_determinism, "serve", "backend.rs", src).is_empty());
-        assert!(run(check_determinism, "circuit", "report.rs", src).is_empty());
+        assert!(run_det("serve", "backend.rs", src, None).is_empty());
+        assert!(run_det("circuit", "report.rs", src, None).is_empty());
+    }
+
+    #[test]
+    fn determinism_semantic_flags_iteration_not_declaration() {
+        let src = "
+            use std::collections::HashMap;
+            pub fn report() -> usize {
+                let m: HashMap<u32, u32> = HashMap::new();
+                m.keys().count()
+            }
+            pub fn build() -> HashMap<u32, u32> { HashMap::new() }
+        ";
+        let file = SourceFile::new("crates/x/src/report.rs", "sim", "report.rs", src);
+        assert!(file.ast.is_clean());
+        let table = table_for(&file);
+        let mut out = Vec::new();
+        check_determinism(&file, Some(&table), &mut out);
+        // Only `.keys()` in `report` is flagged — `build` declares and
+        // returns a map without iterating it.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`.keys()`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn determinism_semantic_covers_alias_and_rebinding_blind_spots() {
+        let src = "
+            use std::collections::HashMap as Cache;
+            pub struct R { pub rows: Cache<u32, f64> }
+            impl R {
+                pub fn dump(&self) -> f64 {
+                    let m = &self.rows;
+                    m.values().sum()
+                }
+            }
+        ";
+        let file = SourceFile::new("crates/x/src/report.rs", "serve", "report.rs", src);
+        assert!(file.ast.is_clean());
+        let table = table_for(&file);
+        let mut out = Vec::new();
+        check_determinism(&file, Some(&table), &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`.values()`"), "{}", out[0].message);
+        // The old token rule only sees the literal `HashMap` on the
+        // `use` line; the iteration through the alias and the local
+        // rebinding is invisible to it.
+        let tok = run_det("serve", "report.rs", src, None);
+        assert_eq!(tok.len(), 1, "{tok:?}");
+        assert_eq!(tok[0].line, 2);
+    }
+
+    #[test]
+    fn determinism_semantic_honors_sort_before_serialize() {
+        let src = "
+            use std::collections::HashMap;
+            pub fn render(m: &HashMap<u32, f64>) -> String {
+                let mut rows: Vec<_> = m.iter().collect();
+                rows.sort_by_key(|(k, _)| **k);
+                format!(\"{rows:?}\")
+            }
+        ";
+        let file = SourceFile::new("crates/x/src/report.rs", "sim", "report.rs", src);
+        let table = table_for(&file);
+        let mut out = Vec::new();
+        check_determinism(&file, Some(&table), &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn stale_waivers_are_flagged_and_live_ones_kept() {
+        // The panic-path waiver on line 2 is live; the raw-unit waiver
+        // on line 3 suppresses nothing.
+        let src =
+            "\nfn lib() { x.unwrap(); } // lint: allow(panic-path)\nfn g() {} // lint: allow(raw-unit)\n";
+        let file = SourceFile::new("crates/x/src/lib.rs", "demo", "lib.rs", src);
+        let mut findings = Vec::new();
+        check_panic_path(&file, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].waived);
+        let files = vec![file];
+        check_stale_waivers(&files, &mut findings);
+        let stale: Vec<&Finding> = findings.iter().filter(|f| f.rule == "stale-waiver").collect();
+        assert_eq!(stale.len(), 1, "{findings:?}");
+        assert_eq!(stale[0].line, 3);
+        assert!(stale[0].message.contains("allow(raw-unit)"), "{}", stale[0].message);
+        assert!(!stale[0].waived);
+    }
+
+    #[test]
+    fn stale_waiver_waivers_exempt_themselves() {
+        // An intentionally-kept waiver: `allow(stale-waiver)` on the
+        // same line shields the dead `allow(determinism)`.
+        let src = "fn g() {} // lint: allow(determinism, stale-waiver)\n";
+        let file = SourceFile::new("crates/x/src/lib.rs", "demo", "lib.rs", src);
+        let mut findings = Vec::new();
+        let files = vec![file];
+        check_stale_waivers(&files, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "stale-waiver");
+        assert!(findings[0].waived, "{findings:?}");
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! SARIF 2.1.0 export of lint findings.
+//!
+//! Hand-rolled like `report.rs` (the crate is dependency-free) with a
+//! stable field and result order, so the artifact is byte-reproducible.
+//! Waived findings export at level `note`, violations at `error` — a
+//! SARIF viewer shows both, CI gates only on the exit code.
+
+use crate::report::RULES;
+use crate::rules::Finding;
+
+/// Short per-rule descriptions for the SARIF rule metadata.
+fn rule_description(rule: &str) -> &'static str {
+    match rule {
+        "raw-unit" => "Public unit-suffixed API must use inca-units newtypes, not bare floats",
+        "determinism" => "Report crates must stay virtual-time deterministic",
+        "determinism-taint" => "No nondeterminism source may reach a report-serialization sink",
+        "panic-path" => "No unwrap/expect/panic! in non-test library code",
+        "telemetry-ownership" => "Telemetry events may only be recorded by their owning crate",
+        "safety-comment" => "Every unsafe block needs a nearby // SAFETY: justification",
+        "event-coverage" => "Every telemetry Event variant needs an owner in the DESIGN.md map",
+        "stale-waiver" => "A lint: allow(...) comment must still suppress at least one finding",
+        _ => "inca-lint rule",
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the findings as a SARIF 2.1.0 document. `findings` must
+/// already be sorted (file, line, rule) for byte-stable output.
+#[must_use]
+pub fn render(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    s.push_str("  \"version\": \"2.1.0\",\n");
+    s.push_str("  \"runs\": [\n    {\n");
+    s.push_str("      \"tool\": {\n        \"driver\": {\n");
+    s.push_str("          \"name\": \"inca-lint\",\n");
+    s.push_str("          \"informationUri\": \"https://github.com/inca-sim/inca\",\n");
+    s.push_str("          \"rules\": [\n");
+    for (i, rule) in RULES.iter().enumerate() {
+        s.push_str(&format!(
+            "            {{\"id\": \"{rule}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}\n",
+            esc(rule_description(rule)),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("          ]\n        }\n      },\n");
+    s.push_str("      \"results\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let level = if f.waived { "note" } else { "error" };
+        s.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"level\": \"{level}\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}\n",
+            esc(f.rule),
+            esc(&f.message),
+            esc(&f.file),
+            f.line,
+            if i + 1 < findings.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_lists_rules_and_results_with_levels() {
+        let findings = vec![
+            Finding {
+                rule: "determinism-taint",
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                message: "`Instant` reads the wall clock".into(),
+                waived: false,
+            },
+            Finding {
+                rule: "panic-path",
+                file: "crates/x/src/lib.rs".into(),
+                line: 9,
+                message: "`.unwrap()` panics".into(),
+                waived: true,
+            },
+        ];
+        let doc = render(&findings);
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        for rule in RULES {
+            assert!(doc.contains(&format!("\"id\": \"{rule}\"")), "{rule}");
+        }
+        assert!(doc.contains("\"level\": \"error\""));
+        assert!(doc.contains("\"level\": \"note\""));
+        assert!(doc.contains("\"startLine\": 7"));
+        // Byte-stable across runs: rendering twice is identical.
+        assert_eq!(doc, render(&findings));
+    }
+}

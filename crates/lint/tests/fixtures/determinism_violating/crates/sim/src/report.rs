@@ -4,5 +4,5 @@ use std::time::Instant;
 pub fn emit(rows: &HashMap<String, f64>) -> String {
     let t = Instant::now();
     let r = rand::thread_rng();
-    format!("{t:?} {r:?} {rows:?}")
+    format!("{:?} {:?} {:?}", t, r, rows)
 }

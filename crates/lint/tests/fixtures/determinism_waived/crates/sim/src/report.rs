@@ -1,8 +1,7 @@
-//! Waived: the HashMap is sorted before emission.
-pub fn emit() -> String {
-    // Keys are collected and sorted below. lint: allow(determinism)
-    let rows: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
-    let mut keys: Vec<&String> = rows.keys().collect();
-    keys.sort();
-    format!("{keys:?}")
+//! Waived: a justified unordered emission (the rounded entry count only
+//! feeds a histogram, so order never reaches the artifact bytes).
+pub fn emit(rows: &std::collections::HashMap<String, f64>) -> String {
+    // Order-insensitive count. lint: allow(determinism, determinism-taint)
+    let total = rows.values().filter(|v| v.is_finite()).count();
+    total.to_string()
 }

@@ -1,0 +1,7 @@
+//! Broken on purpose: the parser recovers, the file falls back to
+//! token rules, and the HashMap mention is still caught.
+??? not an item ???
+pub fn emit() -> String {
+    let m: std::collections::HashMap<u32, u32> = Default::default();
+    format!("{:?}", m)
+}

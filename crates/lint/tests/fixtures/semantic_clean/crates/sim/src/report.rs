@@ -1,0 +1,45 @@
+//! Parser-breadth fixture: generics, trait impls, nested modules, and
+//! cfg(test) masking. Everything outside tests is deterministic.
+use std::collections::BTreeMap;
+
+pub trait Emit<T> {
+    fn emit(&self, rows: &BTreeMap<String, T>) -> String;
+}
+
+pub struct Writer<T> {
+    pub scale: T,
+}
+
+impl<T: std::fmt::Display> Emit<T> for Writer<T> {
+    fn emit(&self, rows: &BTreeMap<String, T>) -> String {
+        let mut out = String::new();
+        for (k, v) in rows {
+            out.push_str(&format!("{k}={v};"));
+        }
+        out
+    }
+}
+
+pub mod inner {
+    pub mod deeper {
+        pub const fn answer() -> u32 {
+            42
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_helpers_may_use_wall_clock() {
+        let t = Instant::now();
+        let mut m = HashMap::new();
+        m.insert("k", t.elapsed().as_nanos());
+        for (k, v) in m.iter() {
+            assert!(!k.is_empty() || v > &0);
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//! The sink only sees virtual time.
+pub fn write_artifact(virtual_ns: u64) -> String {
+    format!("{}", crate::clock::stamp(virtual_ns))
+}

@@ -1,0 +1,4 @@
+//! Middle of the chain: launders the timestamp through a summary.
+pub fn summarize() -> u64 {
+    crate::clock::stamp() / 2
+}

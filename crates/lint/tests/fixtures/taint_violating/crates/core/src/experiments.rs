@@ -1,0 +1,4 @@
+//! The sink: serializes the summary into an artifact string.
+pub fn write_artifact() -> String {
+    format!("{}", crate::agg::summarize())
+}
